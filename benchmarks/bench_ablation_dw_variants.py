@@ -1,0 +1,90 @@
+"""Ablation A4 (Sec. III-D): Joldes et al. vs. Lange & Rump double-word
+arithmetic.
+
+The paper chose the slower, tightly-bounded Joldes algorithms over Lange &
+Rump's faster ones because "the precision decreases with consecutive
+operations, which is a concern for the Iterative Refinement method".  We
+measure (1) per-operation cost and (2) precision decay over chained
+operations, for both families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, save_result
+from repro.dw import joldes, lange_rump
+
+
+def chained_error(arith, n_terms=50_000, seed=4):
+    """Accumulate an alternating series; return |error| vs float64."""
+    rng = np.random.default_rng(seed)
+    terms = rng.uniform(-1.0, 1.0, n_terms)
+    hi = np.float32(0)
+    lo = np.float32(0)
+    for t in terms:
+        th = np.float32(t)
+        tl = np.float32(np.float64(t) - np.float64(th))
+        hi, lo = arith.add_dw_dw(hi, lo, th, tl)
+    return abs(float(np.float64(hi) + np.float64(lo)) - terms.sum())
+
+
+def single_op_error(arith, samples=50_000, seed=5):
+    """Worst relative error of one dw multiply vs float64."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.5, 2.0, samples)
+    b = rng.uniform(0.5, 2.0, samples)
+    ah = a.astype(np.float32)
+    al = (a - ah.astype(np.float64)).astype(np.float32)
+    bh = b.astype(np.float32)
+    bl = (b - bh.astype(np.float64)).astype(np.float32)
+    rh, rl = arith.mul_dw_dw(ah, al, bh, bl)
+    got = rh.astype(np.float64) + rl.astype(np.float64)
+    return float(np.abs((got - a * b) / (a * b)).max())
+
+
+def test_ablation_dw_variants(benchmark):
+    def run():
+        return {
+            "joldes": {
+                "flops": dict(joldes.FLOPS),
+                "cycles": dict(joldes.CYCLES),
+                "single_op_relerr": single_op_error(joldes),
+                "chained_abs_err": chained_error(joldes),
+            },
+            "lange_rump": {
+                "flops": dict(lange_rump.FLOPS),
+                "cycles": dict(lange_rump.CYCLES),
+                "single_op_relerr": single_op_error(lange_rump),
+                "chained_abs_err": chained_error(lange_rump),
+            },
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, d in data.items():
+        rows.append([
+            name,
+            "/".join(str(d["flops"][k]) for k in ("add", "mul", "div")),
+            "/".join(str(d["cycles"][k]) for k in ("add", "mul", "div")),
+            f"{d['single_op_relerr']:.2e}",
+            f"{d['chained_abs_err']:.2e}",
+        ])
+    text = print_table(
+        "Ablation A4: Joldes et al. (accurate) vs Lange & Rump (fast) dw arithmetic",
+        ["Family", "flops add/mul/div", "cycles add/mul/div",
+         "1-op max rel err", "50k-op chained abs err"],
+        rows,
+    )
+    save_result("ablation_dw_variants", text)
+
+    j, lr = data["joldes"], data["lange_rump"]
+    # Lange-Rump is cheaper per op (paper: 7-25 vs 20-34 flops)...
+    assert all(lr["flops"][k] < j["flops"][k] for k in ("add", "mul", "div"))
+    assert all(lr["cycles"][k] < j["cycles"][k] for k in ("add", "mul", "div"))
+    # ...both are accurate for a single op (O(u^2))...
+    assert j["single_op_relerr"] < 1e-12
+    assert lr["single_op_relerr"] < 1e-11
+    # ...but only the accurate family keeps chained error at dw level — the
+    # property MPIR needs ("numerical stability crucial", Sec. III-D).
+    assert j["chained_abs_err"] <= lr["chained_abs_err"]
+    assert j["chained_abs_err"] < 1e-8

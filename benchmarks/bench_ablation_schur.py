@@ -1,0 +1,68 @@
+"""Ablation A6 (Sec. VI-D future work): Schur interface correction.
+
+The paper attributes the IPU's modest solver advantage over the CPU to the
+block-local ILU disregarding halo values, and proposes a Schur-complement
+interface solve as the remedy.  We implemented it
+(:class:`repro.solvers.SchurInterface`) and measure what it buys: iteration
+counts of PBiCGStab with plain block-ILU vs. Schur-corrected block-ILU as
+the tile count grows — the regime where block-ILU degrades.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, save_result
+from repro.solvers import solve
+from repro.sparse import poisson2d
+
+TILE_COUNTS = [4, 16, 36]
+TOL = 1e-5
+
+
+def run_all():
+    crs, dims = poisson2d(18)
+    b = np.random.default_rng(13).standard_normal(crs.n)
+    out = {}
+    for tiles in TILE_COUNTS:
+        base = solve(
+            crs, b,
+            {"solver": "bicgstab", "tol": TOL, "preconditioner": {"solver": "ilu0"}},
+            grid_dims=dims, tiles_per_ipu=tiles,
+        )
+        schur = solve(
+            crs, b,
+            {"solver": "bicgstab", "tol": TOL,
+             "preconditioner": {"solver": "schur", "inner": {"solver": "ilu0"}}},
+            grid_dims=dims, tiles_per_ipu=tiles,
+        )
+        out[tiles] = {
+            "base_iters": base.iterations,
+            "schur_iters": schur.iterations,
+            "base_ms": base.seconds * 1e3,
+            "schur_ms": schur.seconds * 1e3,
+        }
+    return out
+
+
+def test_ablation_schur(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [tiles, d["base_iters"], d["schur_iters"],
+         f"{d['base_ms']:.2f}", f"{d['schur_ms']:.2f}"]
+        for tiles, d in data.items()
+    ]
+    text = print_table(
+        "Ablation A6: block-ILU(0) vs Schur-corrected ILU(0) (Poisson 18^2, BiCGStab iterations)",
+        ["tiles", "block-ILU iters", "Schur iters", "block-ILU ms", "Schur ms"],
+        rows,
+    )
+    save_result("ablation_schur", text)
+
+    for tiles, d in data.items():
+        # The correction must never hurt the iteration count...
+        assert d["schur_iters"] <= d["base_iters"], tiles
+    # ...and must help where block-ILU is weakest (many tiles).
+    most = data[TILE_COUNTS[-1]]
+    assert most["schur_iters"] < most["base_iters"]
+    # Block-ILU degrades with tile count (the Sec. VI-D effect itself).
+    assert data[TILE_COUNTS[-1]]["base_iters"] >= data[TILE_COUNTS[0]]["base_iters"]

@@ -1,0 +1,23 @@
+"""Figure 10: convergence of the four solver configurations on af_shell7.
+
+Same experiment as Figure 9 (see ``bench_fig9_convergence_geo``) on the
+af_shell7 double — the paper shows the identical stall/convergence pattern
+on both matrices.
+"""
+
+import pytest
+
+from bench_fig9_convergence_geo import check_fig9_shape, run_all, series_text
+from repro.bench import save_result
+from repro.sparse.suitesparse import af_shell_like
+
+
+def test_fig10_convergence_afshell(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_all(matrix_fn=lambda: af_shell_like(nx=26, ny=26, layers=4), seed=22),
+        rounds=1,
+        iterations=1,
+    )
+    text = series_text("Figure 10: solver configurations on af_shell7 (double)", results)
+    save_result("fig10_convergence_afshell", text)
+    check_fig9_shape(results)

@@ -1,0 +1,66 @@
+"""Figure 5: strong scaling of SpMV on a Poisson matrix.
+
+The paper holds a 200³ Poisson problem (~58 M entries) fixed and sweeps
+1–16 IPUs, reporting speedup with halo exchange (blue) and compute-only
+(orange).  We run the same sweep at reduced size with the same
+tiles-per-IPU proportionality and report both speedup curves.
+"""
+
+import pytest
+
+from repro.bench import ipu_spmv_run, print_series, save_result
+from repro.sparse import poisson3d
+
+GRID = 40  # 64,000 rows / 438,400 entries — laptop-scale stand-in for 200³
+IPUS = [1, 2, 4, 8, 16]
+TILES_PER_IPU = 16
+
+
+def sweep():
+    crs, dims = poisson3d(GRID)
+    runs = {}
+    for ipus in IPUS:
+        runs[ipus] = ipu_spmv_run(crs, grid_dims=dims, num_ipus=ipus,
+                                  tiles_per_ipu=TILES_PER_IPU)
+    return runs
+
+
+def test_fig5_strong_scaling(benchmark):
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = runs[IPUS[0]]
+    points = []
+    for ipus in IPUS:
+        r = runs[ipus]
+        points.append([
+            ipus,
+            f"{base.total_cycles / r.total_cycles:.2f}",
+            f"{base.compute_cycles / r.compute_cycles:.2f}",
+            r.total_cycles,
+            r.exchange_cycles,
+        ])
+    text = print_series(
+        f"Figure 5: strong scaling of SpMV (Poisson {GRID}^3, "
+        f"{TILES_PER_IPU} tiles/IPU)",
+        "IPUs",
+        ["speedup (with halo)", "speedup (compute only)", "cycles", "exchange cycles"],
+        points,
+    )
+    save_result("fig5_strong_scaling", text)
+
+    total_speedup = base.total_cycles / runs[16].total_cycles
+    compute_speedup = base.compute_cycles / runs[16].compute_cycles
+    # Paper shape: compute-only scaling is near-ideal; total scaling trails
+    # it because the surface-to-volume ratio grows with the partition count.
+    assert compute_speedup > 0.85 * 16
+    assert 0.5 * 16 < total_speedup <= compute_speedup
+    # Speedups must be monotone in the IPU count.
+    totals = [runs[k].total_cycles for k in IPUS]
+    assert all(a > b for a, b in zip(totals, totals[1:]))
+
+
+def test_fig5_exchange_grows_relative_to_compute(benchmark):
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The communication share rises as the fixed problem is cut finer —
+    # the "fundamental property of domain decomposition" (Sec. VI-B).
+    frac = {k: runs[k].exchange_cycles / runs[k].total_cycles for k in IPUS}
+    assert frac[16] > frac[1]

@@ -1,0 +1,162 @@
+"""Figure 8: time for (MPIR-)PBiCGStab+ILU(0) to reach 1e-9 on each platform.
+
+Paper result: the IPU outperforms the GPU by 5–36x but the CPU by only
+3–7x — the CPU does *relatively much better* than in the SpMV bench
+(Fig. 7), because (a) the global ILU(0) of HYPRE/cuSPARSE converges in
+fewer iterations than the IPU's halo-disregarding block-local ILU
+(Sec. VI-D), and (b) cuSPARSE's level-scheduled triangular solves pay a
+kernel launch per dependency level.
+
+Method (consistent-scale comparison, see EXPERIMENTS.md):
+- IPU: full simulation of MPIR(dw)+PBiCGStab+ILU(0) to 1e-9 on 16 tiles,
+  sized so rows-per-tile matches the paper's M2000 configuration (≈250
+  rows/tile on 5,888 tiles) — per-tile work AND preconditioner block size
+  are at parity, so per-iteration time and iteration counts are
+  representative.  Time = simulated cycles at the tile clock.
+- CPU/GPU: iteration counts from the reference float64 BiCGStab with global
+  ILU(0) on the same double; per-iteration time from the roofline models at
+  the paper-scale sizes of Table II with the double's measured level count
+  (conservative for the GPU — deeper level structures at full scale would
+  only slow it further).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    H100_SXM,
+    XEON_8470Q,
+    reference_solve_info,
+    solver_iteration_time,
+)
+from repro.bench import print_table, save_result
+from repro.solvers import solve
+from repro.sparse.suitesparse import (
+    PAPER_STATS,
+    af_shell_like,
+    g3_circuit_like,
+    geo_like,
+    hook_like,
+)
+
+TOL = 1e-9
+
+# Doubles sized so rows / 16 tiles ≈ paper rows / 5888 tiles (~250/tile),
+# with conditioning inside MPIR's convergence regime.
+MATS = {
+    "G3_circuit": lambda: g3_circuit_like(grid=64),
+    "af_shell7": lambda: af_shell_like(nx=32, ny=32, layers=4),
+    "Geo_1438": lambda: geo_like(nx=16, ny=16, nz=16),
+    "Hook_1498": lambda: hook_like(nx=16, ny=16, nz=16, contrast=1e3),
+}
+
+IPU_CONFIG = {
+    "solver": "mpir",
+    "precision": "dw",
+    "tol": TOL,
+    "max_outer": 12,
+    "inner": {
+        "solver": "bicgstab",
+        "fixed_iterations": 50,
+        "tol": 2e-7,
+        "record_history": False,
+        "preconditioner": {"solver": "ilu0"},
+    },
+}
+
+
+def run_all():
+    out = {}
+    for name, gen in MATS.items():
+        crs = gen()
+        rng = np.random.default_rng(11)
+        b = rng.standard_normal(crs.n)
+
+        ipu = solve(crs, b, IPU_CONFIG, num_ipus=1, tiles_per_ipu=16)
+        ref = reference_solve_info(crs, b, tol=TOL)
+        paper = PAPER_STATS[name]
+        pn, pnnz = int(paper["rows"]), int(paper["entries"])
+        # Level counts of the global ILU grow with the graph diameter.  For
+        # mesh matrices that is the linear mesh size (2-D: sqrt of the row
+        # ratio; 3-D: cbrt); the circuit graph is small-world — its random
+        # long-range wires keep the diameter (and hence the level depth)
+        # nearly flat, so its measured count is used unscaled.
+        if name == "G3_circuit":
+            levels = ref["num_levels"]
+        else:
+            dim = 2 if name == "af_shell7" else 3
+            levels = int(ref["num_levels"] * (pn / crs.n) ** (1.0 / dim))
+        t_cpu = ref["iterations"] * solver_iteration_time(XEON_8470Q, pn, pnnz, levels)
+        t_gpu = ref["iterations"] * solver_iteration_time(H100_SXM, pn, pnnz, levels)
+        out[name] = {
+            "ipu_s": ipu.seconds,
+            "ipu_resid": ipu.relative_residual,
+            "cpu_s": t_cpu,
+            "gpu_s": t_gpu,
+            "ref_iters": ref["iterations"],
+            "levels": ref["num_levels"],
+        }
+    return out
+
+
+def test_fig8_solver_platforms(benchmark):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, d in data.items():
+        rows.append([
+            name,
+            f"{d['ipu_s'] * 1e3:.2f}",
+            f"{d['gpu_s'] * 1e3:.2f}",
+            f"{d['cpu_s'] * 1e3:.2f}",
+            f"{d['gpu_s'] / d['ipu_s']:.1f}x",
+            f"{d['cpu_s'] / d['ipu_s']:.1f}x",
+            f"{d['ipu_resid']:.1e}",
+        ])
+    text = print_table(
+        f"Figure 8: IR-PBiCGStab+ILU(0) time to rel. residual {TOL} (ms)",
+        ["Matrix", "IPU", "GPU", "CPU", "IPU vs GPU", "IPU vs CPU", "IPU resid"],
+        rows,
+    )
+    save_result("fig8_solver_platforms", text)
+
+    for name, d in data.items():
+        assert d["ipu_resid"] < 10 * TOL, f"{name}: IPU did not converge"
+        # Shape: the IPU wins on every matrix.
+        assert d["ipu_s"] < d["cpu_s"], name
+        assert d["ipu_s"] < d["gpu_s"], name
+        cpu_ratio = d["cpu_s"] / d["ipu_s"]
+        gpu_ratio = d["gpu_s"] / d["ipu_s"]
+        # Paper: 3-7x over CPU, 5-36x over GPU; generous envelopes (the
+        # paper's own per-matrix ranges overlap, so CPU-vs-GPU order may
+        # flip on individual matrices).
+        assert 1.5 < cpu_ratio < 60, f"{name}: cpu ratio {cpu_ratio:.1f}"
+        assert 3 < gpu_ratio < 200, f"{name}: gpu ratio {gpu_ratio:.1f}"
+        # The crossover vs Fig. 7: the CPU's solver deficit is far below its
+        # ~150x SpMV deficit.
+        assert cpu_ratio < 60
+    # The GPU's level-launch-bound ILU drops it behind the CPU in aggregate
+    # (Sec. VI-D's "the CPU performs significantly better in this test");
+    # on individual matrices the two can tie.
+    cpu_wins = sum(d["cpu_s"] < d["gpu_s"] for d in data.values())
+    assert cpu_wins >= 2
+    assert sum(d["cpu_s"] for d in data.values()) < sum(d["gpu_s"] for d in data.values())
+
+
+def test_fig8_block_ilu_needs_more_iterations(benchmark):
+    """Sec. VI-D: the tile decomposition weakens ILU — the IPU needs at
+    least as many iterations as the baselines' global factorization."""
+
+    def run_one():
+        crs = geo_like(nx=16, ny=16, nz=16)
+        b = np.random.default_rng(11).standard_normal(crs.n)
+        ref = reference_solve_info(crs, b, tol=1e-6)
+        ipu = solve(
+            crs, b,
+            {"solver": "bicgstab", "tol": 1e-6,
+             "preconditioner": {"solver": "ilu0"}},
+            num_ipus=1, tiles_per_ipu=16,
+        )
+        return ref["iterations"], ipu.iterations
+
+    ref_iters, ipu_iters = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    assert ipu_iters >= ref_iters

@@ -1,0 +1,72 @@
+"""Table II: benchmark matrices.
+
+Regenerates the matrix spec sheet with our synthetic doubles next to the
+originals' published sizes, checking that each double preserves the
+original's structural character (nnz/row, SPD-ness).
+"""
+
+import numpy as np
+
+from repro.bench import print_table, save_result
+from repro.sparse.suitesparse import MATRICES, PAPER_STATS
+
+
+def build_table():
+    rows = []
+    stats = {}
+    for name, gen in MATRICES.items():
+        m = gen()
+        paper = PAPER_STATS[name]
+        stats[name] = {
+            "n": m.n,
+            "nnz": m.nnz,
+            "nnz_per_row": m.nnz / m.n,
+            "paper_nnz_per_row": paper["entries"] / paper["rows"],
+        }
+        rows.append(
+            [
+                name,
+                f"{paper['rows']:.1e}",
+                f"{paper['entries']:.1e}",
+                m.n,
+                m.nnz,
+                f"{m.nnz / m.n:.1f}",
+                f"{paper['entries'] / paper['rows']:.1f}",
+            ]
+        )
+    return rows, stats
+
+
+def test_table2(benchmark):
+    rows, stats = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    text = print_table(
+        "Table II: benchmark matrices (paper originals vs. synthetic doubles)",
+        ["Matrix", "paper rows", "paper nnz", "double rows", "double nnz",
+         "double nnz/row", "paper nnz/row"],
+        rows,
+    )
+    save_result("table2_matrices", text)
+
+    for name, s in stats.items():
+        # Structural character: nnz/row of the double within ~2x of the original.
+        ratio = s["nnz_per_row"] / s["paper_nnz_per_row"]
+        assert 0.5 < ratio < 2.5, f"{name}: nnz/row ratio {ratio}"
+        # All doubles are laptop-simulable but nontrivial.
+        assert 400 <= s["n"] <= 200_000
+
+
+def test_all_doubles_spd(benchmark):
+    def smallest_eigs():
+        import scipy.sparse.linalg as spla
+
+        out = {}
+        for name, gen in MATRICES.items():
+            m = gen()
+            w = spla.eigsh(m.to_scipy(), k=1, sigma=0, which="LM",
+                           return_eigenvectors=False)
+            out[name] = float(w[0])
+        return out
+
+    eigs = benchmark.pedantic(smallest_eigs, rounds=1, iterations=1)
+    for name, w in eigs.items():
+        assert w > 0, f"{name} double is not positive definite"

@@ -1,0 +1,87 @@
+"""Table IV: relative component times of MPIR+PBiCGStab+ILU(0) on G3_circuit.
+
+The paper profiles the solver with 10 inner iterations per IR step and
+buckets cycles into ILU(0) solve / SpMV / reduce / elementwise /
+extended-precision ops, for both extended-precision methods:
+
+    Operation             Double-Word   Double-Precision
+    ILU(0) Solve          75%           66%
+    SpMV                  7%            6%
+    Reduce                12%           11%
+    Elementwise Ops       4%            3%
+    Extended-Precision    2%            14%
+
+The headline: double-word arithmetic keeps MPIR's overhead at ~2% where
+emulated double costs 14%.  We regenerate the table from the machine
+model's cycle profiler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, save_result
+from repro.solvers import solve
+from repro.sparse.suitesparse import g3_circuit_like
+
+BUCKETS = ["ilu_solve", "spmv", "reduce", "elementwise", "extended_precision"]
+LABELS = {
+    "ilu_solve": "ILU(0) Solve",
+    "spmv": "SpMV",
+    "reduce": "Reduce",
+    "elementwise": "Elementwise Ops",
+    "extended_precision": "Extended-Precision Ops",
+}
+
+
+def profile(precision: str) -> dict:
+    crs = g3_circuit_like(grid=72)
+    b = np.random.default_rng(5).standard_normal(crs.n)
+    res = solve(
+        crs, b,
+        {
+            "solver": "mpir",
+            "precision": precision,
+            "tol": 1e-11,
+            "max_outer": 8,
+            "record_history": False,
+            "inner": {
+                "solver": "bicgstab",
+                "fixed_iterations": 10,  # the paper's Table IV setting
+                "tol": 2e-7,
+                "record_history": False,
+                "preconditioner": {"solver": "ilu0"},
+            },
+        },
+        num_ipus=1, tiles_per_ipu=32,
+    )
+    raw = {k: res.profile.get(k, 0.0) for k in BUCKETS}
+    # The one-time factorization belongs to the ILU(0) line item.
+    raw["ilu_solve"] += res.profile.get("ilu_factor", 0.0)
+    total = sum(raw.values()) or 1.0
+    return {k: v / total for k, v in raw.items()}
+
+
+def test_table4_mpir_profile(benchmark):
+    def run_both():
+        return profile("dw"), profile("float64")
+
+    dw, dp = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [[LABELS[k], f"{dw[k]:.0%}", f"{dp[k]:.0%}"] for k in BUCKETS]
+    text = print_table(
+        "Table IV: relative computation times of MPIR+PBiCGStab+ILU(0) on G3_circuit",
+        ["Operation", "Double-Word", "Double-Precision"],
+        rows,
+    )
+    save_result("table4_mpir_profile", text)
+
+    # Shape assertions against the paper's Table IV.
+    # ILU(0) solve is the dominant compute bucket (75% in the paper).
+    assert dw["ilu_solve"] == max(dw.values())
+    assert dw["ilu_solve"] > 0.3
+    # Double-word overhead is small (2% in the paper).
+    assert dw["extended_precision"] < 0.12
+    # Emulated double costs several times more (14% in the paper).
+    assert dp["extended_precision"] > 2 * dw["extended_precision"]
+    # Shares in each column sum to one.
+    assert sum(dw.values()) == pytest.approx(1.0)
+    assert sum(dp.values()) == pytest.approx(1.0)

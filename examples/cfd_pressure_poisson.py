@@ -1,0 +1,81 @@
+"""CFD workload: a pressure-projection Poisson solve with MPIR.
+
+Incompressible-flow solvers (the paper's motivating application domain)
+spend most of their time in the pressure Poisson equation of the projection
+step:  ∆p = ∇·u*.  The divergence source makes the right-hand side rough,
+and tight residuals are needed so the corrected velocity field stays
+divergence-free over thousands of time steps — exactly where single
+precision is insufficient and the paper's MPIR + double-word combination
+earns its keep (Sec. V-B).
+
+This example builds the pressure system for a lid-driven-cavity-like
+velocity field, then solves it three ways:
+
+1. plain float32 PBiCGStab+ILU(0)      -> stalls near 1e-6,
+2. MPIR with double-word arithmetic    -> reaches ~1e-12,
+3. MPIR with emulated double precision -> reaches ~1e-14 at ~8x the
+   extended-precision cost (Table I).
+
+Run:  python examples/cfd_pressure_poisson.py
+"""
+
+import numpy as np
+
+from repro.solvers import solve
+from repro.sparse import poisson3d
+
+N = 20  # 20^3 = 8,000 pressure unknowns
+matrix, dims = poisson3d(N)
+
+# Divergence of a synthetic lid-driven velocity field u*(x,y,z).
+x, y, z = np.meshgrid(*(np.linspace(0, 1, N),) * 3, indexing="ij")
+div_u = (
+    np.sin(np.pi * x) * np.cos(np.pi * y) * (1 - z)
+    + 0.3 * np.cos(2 * np.pi * y) * z
+).reshape(-1)
+div_u -= div_u.mean()  # compatibility: the singular Neumann mode
+b = div_u + 1e-3 * np.random.default_rng(1).standard_normal(matrix.n)
+
+INNER = {
+    "solver": "bicgstab",
+    "fixed_iterations": 60,
+    "tol": 2e-7,
+    "record_history": False,
+    "preconditioner": {"solver": "ilu0"},
+}
+
+CONFIGS = {
+    "float32 PBiCGStab+ILU(0)": {
+        "solver": "bicgstab",
+        "tol": 1e-14,
+        "max_iterations": 240,
+        "preconditioner": {"solver": "ilu0"},
+    },
+    "MPIR (double-word)": {
+        "solver": "mpir", "precision": "dw", "tol": 1e-12, "max_outer": 8,
+        "inner": INNER,
+    },
+    "MPIR (emulated double)": {
+        "solver": "mpir", "precision": "float64", "tol": 1e-14, "max_outer": 8,
+        "inner": INNER,
+    },
+}
+
+print(f"pressure system: n={matrix.n}, nnz={matrix.nnz}\n")
+results = {}
+for name, cfg in CONFIGS.items():
+    res = solve(matrix, b, cfg, num_ipus=1, tiles_per_ipu=16, grid_dims=dims)
+    results[name] = res
+    ext = res.profile.get("extended_precision", 0.0)
+    print(
+        f"{name:<28s} residual {res.relative_residual:9.2e}   "
+        f"modeled time {res.seconds * 1e3:7.2f} ms   "
+        f"extended-precision share {ext:5.1%}"
+    )
+
+f32 = results["float32 PBiCGStab+ILU(0)"].relative_residual
+dw = results["MPIR (double-word)"].relative_residual
+dp = results["MPIR (emulated double)"].relative_residual
+assert dw < f32 / 1e4, "MPIR-DW must break the float32 barrier"
+assert dp < dw, "emulated double refines further than double-word"
+print("\nOK — the MPIR precision ladder holds (Figs. 9/10 of the paper).")

@@ -1,0 +1,60 @@
+"""Multigrid vs. Krylov: two roads to a Poisson solution.
+
+The paper motivates Gauss-Seidel partly by its role "as a smoother in
+multigrid algorithms" (Sec. V-D); this example exercises the geometric
+multigrid solver built on the framework and compares three strategies on
+one 3-D Poisson problem:
+
+1. BiCGStab + block-local ILU(0) — the paper's workhorse configuration,
+2. standalone multigrid V-cycles (GS-smoothed, Galerkin-coarsened),
+3. CG preconditioned with one V-cycle — the textbook heavy hitter.
+
+Run:  python examples/multigrid_vs_krylov.py
+"""
+
+import numpy as np
+
+from repro.solvers import solve
+from repro.sparse import poisson3d
+
+matrix, dims = poisson3d(16)  # 4,096 unknowns
+b = np.random.default_rng(2).standard_normal(matrix.n)
+TOL = 1e-6
+
+CONFIGS = {
+    "BiCGStab + block ILU(0)": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 500,
+        "preconditioner": {"solver": "ilu0"},
+    },
+    "Multigrid V-cycles (GS smoothing)": {
+        "solver": "multigrid", "grid_dims": dims, "cycles": 12,
+        "pre_smooth": 2, "post_smooth": 2,
+    },
+    # CG needs an SPD preconditioner: symmetric (forward+backward) GS
+    # smoothing keeps the V-cycle symmetric.
+    "CG + 1 V-cycle preconditioner": {
+        "solver": "cg", "tol": TOL, "max_iterations": 100,
+        "preconditioner": {
+            "solver": "multigrid", "grid_dims": dims, "cycles": 1,
+            "record_history": False,
+            "smoother": {"solver": "gauss_seidel", "sweeps": 1,
+                          "direction": "symmetric"},
+        },
+    },
+}
+
+print(f"Poisson {dims}: n={matrix.n}, nnz={matrix.nnz}\n")
+print(f"{'strategy':<36s} {'iters':>5s} {'residual':>10s} {'IPU ms':>8s} {'mJ':>7s}")
+results = {}
+for name, cfg in CONFIGS.items():
+    res = solve(matrix, b, cfg, num_ipus=1, tiles_per_ipu=16, grid_dims=dims)
+    results[name] = res
+    energy_mj = res.engine.device.energy_j() * 1e3
+    print(f"{name:<36s} {res.iterations:>5d} {res.relative_residual:>10.2e} "
+          f"{res.seconds * 1e3:>8.2f} {energy_mj:>7.2f}")
+
+mgcg = results["CG + 1 V-cycle preconditioner"]
+ilu = results["BiCGStab + block ILU(0)"]
+assert mgcg.relative_residual < 1e-5
+assert mgcg.iterations < ilu.iterations, "MG preconditioning should dominate"
+print("\nOK — the V-cycle preconditioner needs the fewest iterations.")

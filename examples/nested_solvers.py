@@ -1,0 +1,70 @@
+"""Nested solver configurations: any solver can precondition any other.
+
+The framework's key design feature (Sec. V) is its modular solver
+hierarchy, configured through JSON.  This example solves one geomechanics
+system with six different hierarchies — from unpreconditioned BiCGStab to a
+BiCGStab-inside-BiCGStab nesting — and compares iteration counts and
+modeled IPU time.
+
+Run:  python examples/nested_solvers.py
+"""
+
+import numpy as np
+
+from repro.solvers import solve
+from repro.sparse.suitesparse import geo_like
+
+matrix = geo_like(nx=12, ny=12, nz=12, anisotropy=5.0)
+b = np.random.default_rng(3).standard_normal(matrix.n)
+TOL = 1e-4  # comfortably above the float32 floor for this conditioning
+
+CONFIGS = {
+    "BiCGStab (no preconditioner)": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+    },
+    "BiCGStab + Jacobi": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+        "preconditioner": {"solver": "jacobi", "sweeps": 2, "omega": 0.8},
+    },
+    "BiCGStab + Gauss-Seidel": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+        "preconditioner": {"solver": "gauss_seidel", "sweeps": 2},
+    },
+    "BiCGStab + DILU": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+        "preconditioner": {"solver": "dilu"},
+    },
+    "BiCGStab + ILU(0)": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+        "preconditioner": {"solver": "ilu0"},
+    },
+    "BiCGStab + inner BiCGStab+ILU(0)": {
+        "solver": "bicgstab", "tol": TOL, "max_iterations": 600,
+        "preconditioner": {
+            "solver": "bicgstab", "fixed_iterations": 3, "record_history": False,
+            "preconditioner": {"solver": "ilu0"},
+        },
+    },
+}
+
+print(f"system: geo_like, n={matrix.n}, nnz={matrix.nnz}, tol={TOL}\n")
+print(f"{'configuration':<36s} {'iters':>5s} {'residual':>10s} {'IPU ms':>8s}")
+rows = []
+for name, cfg in CONFIGS.items():
+    res = solve(matrix, b, cfg, num_ipus=1, tiles_per_ipu=16)
+    rows.append((name, res))
+    print(
+        f"{name:<36s} {res.iterations:>5d} {res.relative_residual:>10.2e} "
+        f"{res.seconds * 1e3:>8.2f}"
+    )
+
+plain = dict(rows)["BiCGStab (no preconditioner)"]
+# Stationary preconditioners (Jacobi/GS/DILU/ILU) must reduce iterations.
+# The BiCGStab-in-BiCGStab nesting is a *variable* preconditioner — standard
+# BiCGStab is not guaranteed to benefit (a flexible Krylov method would be
+# needed); it is included to demonstrate that arbitrary nesting works.
+for name, res in rows:
+    if "inner" in name or name == "BiCGStab (no preconditioner)":
+        continue
+    assert res.iterations <= plain.iterations, f"{name} should not need more iterations"
+print("\nOK — every hierarchy ran; stationary preconditioners reduce iterations.")

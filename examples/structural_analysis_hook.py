@@ -1,0 +1,62 @@
+"""Structural analysis with material jumps: the Hook_1498 workload class.
+
+Elasticity problems with strong material contrast (steel part + soft
+filler) produce the worst-conditioned systems of the paper's benchmark set.
+This example sweeps the material contrast and shows where plain float32
+solving breaks down and how MPIR + double-word arithmetic extends the
+usable range — plus the device-level diagnostics a practitioner would
+check: partition balance, halo-region statistics, and SRAM usage.
+
+Run:  python examples/structural_analysis_hook.py
+"""
+
+import numpy as np
+
+from repro.machine import IPUDevice
+from repro.solvers import build_solver, solve
+from repro.sparse.distribute import DistributedMatrix
+from repro.sparse.suitesparse import hook_like
+from repro.tensordsl import TensorContext
+
+MPIR_DW = {
+    "solver": "mpir", "precision": "dw", "tol": 1e-10, "max_outer": 10,
+    "inner": {
+        "solver": "bicgstab", "fixed_iterations": 60, "tol": 2e-7,
+        "record_history": False, "preconditioner": {"solver": "ilu0"},
+    },
+}
+PLAIN_F32 = {
+    "solver": "bicgstab", "tol": 1e-14, "max_iterations": 400,
+    "preconditioner": {"solver": "ilu0"},
+}
+
+print("contrast sweep (12^3 hook, 16 tiles):")
+print(f"{'contrast':>9s} {'f32 residual':>13s} {'MPIR-DW residual':>17s}")
+for contrast in (1e1, 1e2, 1e3):
+    matrix = hook_like(nx=12, ny=12, nz=12, contrast=contrast)
+    b = np.random.default_rng(8).standard_normal(matrix.n)
+    f32 = solve(matrix, b, PLAIN_F32, num_ipus=1, tiles_per_ipu=16)
+    dw = solve(matrix, b, MPIR_DW, num_ipus=1, tiles_per_ipu=16)
+    print(f"{contrast:>9.0e} {f32.relative_residual:>13.2e} {dw.relative_residual:>17.2e}")
+    assert dw.relative_residual < f32.relative_residual
+
+# Device-level diagnostics for the practitioner.
+matrix = hook_like(nx=12, ny=12, nz=12, contrast=1e2)
+ctx = TensorContext(IPUDevice(tiles_per_ipu=16))
+A = DistributedMatrix(ctx, matrix)
+solver = build_solver(A, MPIR_DW)
+x, bvec = A.vector(), A.vector(data=np.ones(matrix.n))
+solver.solve_into(x, bvec)
+
+counts = A.partition.counts()
+halo = [A.plan.halo_count(t) for t in A.tiles]
+print("\ndevice diagnostics:")
+print(f"  rows per tile:        min={counts.min()} max={counts.max()}")
+print(f"  halo cells per tile:  min={min(halo)} max={max(halo)}")
+print(f"  halo regions:         {len(A.plan.regions)} "
+      f"({A.plan.num_copy_instructions()} comm instructions)")
+sram = ctx.device.sram_report()
+print(f"  peak SRAM per tile:   {sram['max_tile_bytes'] / 1024:.1f} kB "
+      f"of {sram['capacity_per_tile'] / 1024:.0f} kB")
+assert sram["max_tile_bytes"] < sram["capacity_per_tile"]
+print("\nOK.")

@@ -1,0 +1,20 @@
+"""Graphene-style sparse linear solver framework for (simulated) IPUs.
+
+This package reproduces the system described in *Accelerating Sparse Linear
+Solvers on Intelligence Processing Units* (Noack, Krüger, Koch — IPPS 2025):
+
+- :mod:`repro.dw` — the TwoFloat double-word arithmetic library,
+- :mod:`repro.machine` — a deterministic BSP model of the GraphCore Mk2 IPU,
+- :mod:`repro.graph` — a Poplar-like graph/program/engine layer,
+- :mod:`repro.codedsl` / :mod:`repro.tensordsl` — the two embedded DSLs,
+- :mod:`repro.sparse` — modified CRS, partitioning, halo regions, level sets,
+- :mod:`repro.solvers` — PBiCGStab, Gauss-Seidel, ILU(0)/DILU, MPIR,
+- :mod:`repro.baselines` — CPU (HYPRE-like) and GPU (cuSPARSE-like) comparators.
+
+See ``DESIGN.md`` for the complete system inventory and the per-experiment
+index, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,51 @@
+"""CPU and GPU comparator stacks (Sec. VI-A / VI-D).
+
+The paper benchmarks against HYPRE on a Xeon Platinum 8470Q and
+HYPRE+cuSPARSE on an H100 SXM.  Neither that hardware nor those libraries
+are available here, so the comparator splits into two faithful halves:
+
+- :mod:`repro.baselines.reference` — the *numerics*: a native-float64
+  BiCGStab with a **global** ILU(0) preconditioner (what HYPRE/cuSPARSE
+  compute), which yields the baseline iteration counts; and
+- :mod:`repro.baselines.perf_model` — the *time*: roofline models of the
+  three architectures parameterized by Table III (memory bandwidth, FLOPs,
+  TDP, launch/latency overheads), which convert operation tallies into
+  seconds and joules.
+
+Sparse kernels are memory-bandwidth-bound on all three platforms, so
+who-wins-by-what-factor is governed by published bandwidths plus the
+latency terms this model carries — which is what lets the shape of
+Figs. 7/8 survive the substitution.
+"""
+
+from repro.baselines.perf_model import (
+    ArchSpec,
+    H100_SXM,
+    IPU_M2000,
+    PLATFORMS,
+    XEON_8470Q,
+    energy_j,
+    ilu_solve_time,
+    solver_iteration_time,
+    spmv_time,
+)
+from repro.baselines.reference import (
+    global_ilu0,
+    reference_bicgstab,
+    reference_solve_info,
+)
+
+__all__ = [
+    "ArchSpec",
+    "XEON_8470Q",
+    "H100_SXM",
+    "IPU_M2000",
+    "PLATFORMS",
+    "spmv_time",
+    "ilu_solve_time",
+    "solver_iteration_time",
+    "energy_j",
+    "global_ilu0",
+    "reference_bicgstab",
+    "reference_solve_info",
+]

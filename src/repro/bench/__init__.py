@@ -1,0 +1,11 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` targets."""
+
+from repro.bench.harness import (
+    ipu_spmv_run,
+    print_series,
+    print_table,
+    save_result,
+    SpMVRun,
+)
+
+__all__ = ["print_table", "print_series", "save_result", "ipu_spmv_run", "SpMVRun"]

@@ -1,0 +1,95 @@
+"""Shared machinery for the per-table / per-figure benchmark targets.
+
+Each ``benchmarks/bench_*.py`` target regenerates one artifact of the
+paper's evaluation section: it runs the experiment, prints the same rows or
+series the paper reports, saves a text artifact under
+``benchmarks/results/``, and asserts the *shape* of the result (who wins,
+by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.machine import IPUDevice
+from repro.sparse.distribute import DistributedMatrix
+from repro.tensordsl import TensorContext
+
+__all__ = ["print_table", "print_series", "save_result", "ipu_spmv_run", "SpMVRun"]
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def print_table(title: str, headers, rows) -> str:
+    """Format and print a fixed-width table; returns the text."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text
+
+
+def print_series(title: str, x_label: str, y_labels, points) -> str:
+    """Print an (x, y1, y2, ...) series — the data behind a figure."""
+    headers = [x_label, *y_labels]
+    return print_table(title, headers, points)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a bench artifact for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@dataclass
+class SpMVRun:
+    """Cycle breakdown of one SpMV on the simulated device."""
+
+    total_cycles: int
+    compute_cycles: int
+    exchange_cycles: int
+    seconds: float
+    num_tiles: int
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.seconds * self.compute_cycles / max(self.total_cycles, 1)
+
+
+def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16,
+                 repeats: int = 1) -> SpMVRun:
+    """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown."""
+    device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
+    ctx = TensorContext(device)
+    A = DistributedMatrix(ctx, crs, grid_dims=grid_dims)
+    rng = np.random.default_rng(0)
+    x = A.vector(data=rng.standard_normal(crs.n))
+    y = A.vector()
+    if repeats == 1:
+        A.spmv(x, y)
+    else:
+        ctx.Repeat(repeats, lambda: A.spmv(x, y))
+    ctx.run()
+    prof = device.profiler
+    total = prof.total_cycles // repeats
+    compute = prof.category("spmv") // repeats
+    exchange = prof.category("exchange") // repeats
+    return SpMVRun(
+        total_cycles=total,
+        compute_cycles=compute,
+        exchange_cycles=exchange,
+        seconds=device.spec.seconds(total),
+        num_tiles=device.num_tiles,
+    )

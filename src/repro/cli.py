@@ -1,0 +1,131 @@
+"""Command-line interface: solve systems and inspect devices from the shell.
+
+Examples::
+
+    # Solve a built-in workload with an inline JSON config
+    python -m repro.cli solve --matrix poisson3d:16 \\
+        --config '{"solver": "bicgstab", "tol": 1e-6, "preconditioner": {"solver": "ilu0"}}'
+
+    # Solve a Matrix-Market file with a config file, on a 4-IPU device
+    python -m repro.cli solve --matrix path/to/system.mtx --rhs rhs.npy \\
+        --config solver.json --ipus 4 --tiles 32
+
+    # Show the device spec sheet
+    python -m repro.cli info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load_matrix(spec: str):
+    """``poisson3d:N`` / ``poisson2d:N`` / ``g3|afshell|geo|hook[:size]`` /
+    a Matrix-Market path."""
+    from repro.sparse import poisson2d, poisson3d
+    from repro.sparse.suitesparse import (
+        af_shell_like,
+        g3_circuit_like,
+        geo_like,
+        hook_like,
+        load_matrix_market,
+    )
+
+    name, _, arg = spec.partition(":")
+    if name == "poisson3d":
+        m, dims = poisson3d(int(arg or 16))
+        return m, dims
+    if name == "poisson2d":
+        m, dims = poisson2d(int(arg or 32))
+        return m, dims
+    generators = {
+        "g3": lambda s: g3_circuit_like(grid=s or 110),
+        "afshell": lambda s: af_shell_like(nx=s or 56, ny=s or 56),
+        "geo": lambda s: geo_like(nx=s or 24, ny=s or 24, nz=s or 24),
+        "hook": lambda s: hook_like(nx=s or 24, ny=s or 24, nz=s or 24),
+    }
+    if name in generators:
+        return generators[name](int(arg) if arg else None), None
+    path = Path(spec)
+    if path.exists():
+        return load_matrix_market(path), None
+    raise SystemExit(f"unknown matrix spec {spec!r}")
+
+
+def _cmd_solve(args) -> int:
+    from repro.solvers import solve
+
+    matrix, dims = _load_matrix(args.matrix)
+    if args.rhs:
+        b = np.load(args.rhs)
+    else:
+        b = np.random.default_rng(args.seed).standard_normal(matrix.n)
+
+    result = solve(
+        matrix,
+        b,
+        args.config,
+        num_ipus=args.ipus,
+        tiles_per_ipu=args.tiles,
+        grid_dims=dims,
+    )
+    print(f"matrix:            n={matrix.n} nnz={matrix.nnz}")
+    print(f"iterations:        {result.iterations}")
+    print(f"relative residual: {result.relative_residual:.3e}")
+    print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
+    if args.profile:
+        print("cycle breakdown:")
+        for cat, frac in sorted(result.profile.items(), key=lambda kv: -kv[1]):
+            print(f"  {cat:<22s} {frac:6.1%}")
+    if args.output:
+        np.save(args.output, result.x)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.machine import MK2
+
+    print("GraphCore Mk2 IPU (simulated):")
+    print(f"  tiles per IPU:         {MK2.tiles_per_ipu}")
+    print(f"  worker threads / tile: {MK2.workers_per_tile}")
+    print(f"  SRAM per tile:         {MK2.sram_per_tile / 1024:.0f} kB")
+    print(f"  clock:                 {MK2.clock_hz / 1e9:.2f} GHz")
+    print(f"  exchange fabric:       {MK2.exchange_bytes_per_cycle} B/cycle/tile")
+    print(f"  IPU-Links:             {MK2.link_bytes_per_cycle_per_ipu} B/cycle/chip")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a sparse linear system")
+    p_solve.add_argument("--matrix", required=True,
+                         help="poisson3d:N | poisson2d:N | g3|afshell|geo|hook[:size] | file.mtx")
+    p_solve.add_argument("--config", required=True,
+                         help="solver config: JSON string or path to a .json file")
+    p_solve.add_argument("--rhs", help="right-hand side as a .npy file (default: random)")
+    p_solve.add_argument("--ipus", type=int, default=1)
+    p_solve.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--profile", action="store_true", help="print the cycle breakdown")
+    p_solve.add_argument("--output", help="write the solution vector to a .npy file")
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_info = sub.add_parser("info", help="print the simulated device spec")
+    p_info.set_defaults(fn=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""CodeDSL: the tile-centric codelet description language (Sec. III).
+
+Algorithms in CodeDSL are written from the perspective of a single tile and
+can only touch the parts of tensors mapped to that tile.  A CodeDSL function
+is *symbolically executed*: its parameters are :class:`~repro.codedsl.values.Value`
+handles whose operators build an expression/statement IR instead of
+computing.  The IR is then compiled to a host-language codelet
+(:mod:`repro.codedsl.codegen` emits Python source and ``compile()``s it —
+the analogue of the paper emitting C++ compiled by the host toolchain), and
+its cycle cost is estimated from the same IR
+(:mod:`repro.codedsl.estimator`).
+
+Example (the Leibniz kernel of Fig. 1)::
+
+    from repro.codedsl import CodeletIR, For, Select
+
+    ir = CodeletIR(params=["x"])
+    with ir:
+        x = ir.array("x")
+        For(0, x.size, 1, lambda i:
+            x.set(i, Select(i % 2 == 0, 1.0, -1.0) / (2 * i + 1)))
+    fn = ir.compile()
+"""
+
+from repro.codedsl.values import ArrayRef, Select, Value
+from repro.codedsl.builder import (
+    Abs,
+    CodeletIR,
+    For,
+    If,
+    Let,
+    Max,
+    Min,
+    Sqrt,
+    While,
+    current_ir,
+)
+from repro.codedsl.codegen import generate_source
+from repro.codedsl.estimator import estimate_flops
+
+__all__ = [
+    "Value",
+    "ArrayRef",
+    "Select",
+    "CodeletIR",
+    "For",
+    "If",
+    "While",
+    "Let",
+    "Abs",
+    "Sqrt",
+    "Min",
+    "Max",
+    "current_ir",
+    "generate_source",
+    "estimate_flops",
+]

@@ -1,0 +1,257 @@
+"""Statement IR and the symbolic-execution builder for CodeDSL codelets.
+
+A :class:`CodeletIR` records statements while the user's Python function runs
+symbolically.  Free functions :func:`For`, :func:`If`, :func:`While` and
+:func:`Let` append to the *currently open* IR (a context-manager stack), so
+user code reads like the paper's C++:
+
+    For(0, x.size, 1, lambda i: x.set(i, x[i] * 2))
+
+Control-flow bodies are passed as lambdas, exactly as in the paper; each
+body is symbolically executed once inside a nested statement block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codedsl.values import (
+    ArrayRef,
+    CallOp,
+    LocalVar,
+    LoopVar,
+    Node,
+    Value,
+    as_node,
+)
+
+__all__ = [
+    "Stmt",
+    "Store",
+    "DeclareLocal",
+    "AssignLocal",
+    "ForStmt",
+    "WhileStmt",
+    "IfStmt",
+    "CodeletIR",
+    "For",
+    "If",
+    "While",
+    "Let",
+    "Abs",
+    "Sqrt",
+    "Min",
+    "Max",
+    "current_ir",
+]
+
+
+# -- statement nodes -----------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Store(Stmt):
+    array: Node
+    index: Node
+    value: Node
+
+
+@dataclass
+class DeclareLocal(Stmt):
+    var: LocalVar
+    value: Node
+
+
+@dataclass
+class AssignLocal(Stmt):
+    var: LocalVar
+    value: Node
+
+
+@dataclass
+class ForStmt(Stmt):
+    var: LoopVar
+    start: Node
+    stop: Node
+    step: Node
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Node
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Node
+    then_body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+# -- builder --------------------------------------------------------------------------
+
+_IR_STACK: list["CodeletIR"] = []
+
+
+def current_ir() -> "CodeletIR":
+    if not _IR_STACK:
+        raise RuntimeError(
+            "no CodeletIR is open; CodeDSL statements must run inside "
+            "'with CodeletIR(...):' or an Execute() body"
+        )
+    return _IR_STACK[-1]
+
+
+class CodeletIR:
+    """Builds the statement list of one codelet via symbolic execution."""
+
+    def __init__(self, params):
+        self.params = list(params)
+        self.body: list[Stmt] = []
+        self._blocks: list[list[Stmt]] = [self.body]
+        self._counter = 0
+
+    # -- context management -----------------------------------------------------------
+
+    def __enter__(self):
+        _IR_STACK.append(self)
+        return self
+
+    def __exit__(self, *exc):
+        popped = _IR_STACK.pop()
+        assert popped is self
+        return False
+
+    # -- parameter / local handles ------------------------------------------------------
+
+    def array(self, name: str) -> ArrayRef:
+        if name not in self.params:
+            raise KeyError(f"{name!r} is not a parameter of this codelet")
+        from repro.codedsl.values import Param
+
+        return ArrayRef(Param(name))
+
+    def scalar(self, name: str) -> Value:
+        if name not in self.params:
+            raise KeyError(f"{name!r} is not a parameter of this codelet")
+        from repro.codedsl.values import Param
+
+        return Value(Param(name))
+
+    def fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- statement emission ----------------------------------------------------------------
+
+    def _emit(self, stmt: Stmt) -> Stmt:
+        self._blocks[-1].append(stmt)
+        return stmt
+
+    def emit_store(self, array: ArrayRef, index, value) -> None:
+        self._emit(Store(as_node(array), as_node(index), as_node(value)))
+
+    def emit_let(self, value) -> Value:
+        var = LocalVar(self.fresh_name("t"))
+        self._emit(DeclareLocal(var, as_node(value)))
+        return MutableValue(var, self)
+
+    def emit_for(self, start, stop, step, body_fn) -> None:
+        var = LoopVar(self.fresh_name("i"))
+        stmt = ForStmt(var, as_node(start), as_node(stop), as_node(step))
+        self._emit(stmt)
+        self._blocks.append(stmt.body)
+        try:
+            body_fn(Value(var))
+        finally:
+            self._blocks.pop()
+
+    def emit_while(self, cond, body_fn) -> None:
+        stmt = WhileStmt(as_node(cond))
+        self._emit(stmt)
+        self._blocks.append(stmt.body)
+        try:
+            body_fn()
+        finally:
+            self._blocks.pop()
+
+    def emit_if(self, cond, then_fn, else_fn=None) -> None:
+        stmt = IfStmt(as_node(cond))
+        self._emit(stmt)
+        self._blocks.append(stmt.then_body)
+        try:
+            then_fn()
+        finally:
+            self._blocks.pop()
+        if else_fn is not None:
+            self._blocks.append(stmt.else_body)
+            try:
+                else_fn()
+            finally:
+                self._blocks.pop()
+
+    # -- compilation --------------------------------------------------------------------
+
+    def compile(self):
+        """Generate Python source for this codelet and compile it."""
+        from repro.codedsl.codegen import compile_ir
+
+        return compile_ir(self)
+
+
+class MutableValue(Value):
+    """A local variable handle that supports re-assignment via ``.assign``."""
+
+    __slots__ = ("_ir",)
+
+    def __init__(self, var: LocalVar, ir: CodeletIR):
+        super().__init__(var)
+        self._ir = ir
+
+    def assign(self, value) -> None:
+        self._ir._emit(AssignLocal(self.node, as_node(value)))
+
+
+# -- free functions (paper-style syntax) ---------------------------------------------------
+
+
+def For(start, stop, step, body_fn) -> None:
+    """``For(0, x.size, 1, lambda i: ...)`` — a counted loop."""
+    current_ir().emit_for(start, stop, step, body_fn)
+
+
+def If(cond, then_fn, else_fn=None) -> None:
+    current_ir().emit_if(cond, then_fn, else_fn)
+
+
+def While(cond, body_fn) -> None:
+    """Loop while ``cond`` (an expression over mutable locals) holds."""
+    current_ir().emit_while(cond, body_fn)
+
+
+def Let(value) -> MutableValue:
+    """Declare a mutable local initialized to ``value``."""
+    return current_ir().emit_let(value)
+
+
+def Abs(x) -> Value:
+    return Value(CallOp("abs", (as_node(x),)))
+
+
+def Sqrt(x) -> Value:
+    return Value(CallOp("sqrt", (as_node(x),)))
+
+
+def Min(a, b) -> Value:
+    return Value(CallOp("min", (as_node(a), as_node(b))))
+
+
+def Max(a, b) -> Value:
+    return Value(CallOp("max", (as_node(a), as_node(b))))

@@ -1,0 +1,111 @@
+"""Codelet code generation: CodeDSL IR → Python source → compiled function.
+
+The paper's framework emits C++ codelets that the host toolchain compiles in
+isolation; we emit Python source and ``compile()`` it — same architecture,
+host-appropriate backend.  Emitting real source (rather than interpreting
+the IR) keeps the analogy honest and lets the host runtime optimize the
+loop body once, not per element.
+
+Arithmetic inside a generated codelet runs in host precision and rounds on
+stores into the (float32) shard arrays.  Solver-critical kernels use
+intrinsic codelets with exact float32 semantics instead (see
+``repro.solvers``); CodeDSL codelets serve user programs and glue code.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.codedsl import builder as B
+from repro.codedsl import values as V
+
+__all__ = ["generate_source", "compile_ir"]
+
+_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "//": "//",
+    "%": "%",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "and": "and",
+    "or": "or",
+}
+
+_CALLS = {"abs": "abs", "sqrt": "math.sqrt", "min": "min", "max": "max"}
+
+
+def _expr(node: V.Node) -> str:
+    if isinstance(node, V.Const):
+        return repr(node.value)
+    if isinstance(node, (V.Param, V.LocalVar, V.LoopVar)):
+        return node.name
+    if isinstance(node, V.BinOp):
+        return f"({_expr(node.left)} {_BINOPS[node.op]} {_expr(node.right)})"
+    if isinstance(node, V.UnOp):
+        op = "not " if node.op == "not" else node.op
+        return f"({op}{_expr(node.operand)})"
+    if isinstance(node, V.CallOp):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{_CALLS[node.fn]}({args})"
+    if isinstance(node, V.IndexOp):
+        return f"{_expr(node.array)}[{_expr(node.index)}]"
+    if isinstance(node, V.SizeOf):
+        return f"{_expr(node.array)}.size"
+    if isinstance(node, V.SelectOp):
+        return f"({_expr(node.if_true)} if {_expr(node.cond)} else {_expr(node.if_false)})"
+    raise TypeError(f"unknown expression node {node!r}")
+
+
+def _stmts(body, lines, indent):
+    pad = "    " * indent
+    if not body:
+        lines.append(pad + "pass")
+        return
+    for stmt in body:
+        if isinstance(stmt, B.Store):
+            lines.append(f"{pad}{_expr(stmt.array)}[{_expr(stmt.index)}] = {_expr(stmt.value)}")
+        elif isinstance(stmt, (B.DeclareLocal, B.AssignLocal)):
+            lines.append(f"{pad}{stmt.var.name} = {_expr(stmt.value)}")
+        elif isinstance(stmt, B.ForStmt):
+            lines.append(
+                f"{pad}for {stmt.var.name} in range(int({_expr(stmt.start)}), "
+                f"int({_expr(stmt.stop)}), int({_expr(stmt.step)})):"
+            )
+            _stmts(stmt.body, lines, indent + 1)
+        elif isinstance(stmt, B.WhileStmt):
+            lines.append(f"{pad}while {_expr(stmt.cond)}:")
+            _stmts(stmt.body, lines, indent + 1)
+        elif isinstance(stmt, B.IfStmt):
+            lines.append(f"{pad}if {_expr(stmt.cond)}:")
+            _stmts(stmt.then_body, lines, indent + 1)
+            if stmt.else_body:
+                lines.append(f"{pad}else:")
+                _stmts(stmt.else_body, lines, indent + 1)
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+
+
+def generate_source(ir: B.CodeletIR, name: str = "codelet") -> str:
+    """Emit the Python source of one codelet."""
+    sig = ", ".join(ir.params)
+    lines = [f"def {name}({sig}):"]
+    _stmts(ir.body, lines, 1)
+    return "\n".join(lines) + "\n"
+
+
+def compile_ir(ir: B.CodeletIR, name: str = "codelet"):
+    """Compile the IR to a callable.  The returned function takes the
+    codelet's parameters (shard arrays / scalars) positionally or by name."""
+    source = generate_source(ir, name)
+    namespace = {"math": math}
+    exec(compile(source, f"<codedsl:{name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.__codedsl_source__ = source
+    return fn

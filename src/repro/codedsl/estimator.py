@@ -1,0 +1,138 @@
+"""Cycle/flop estimation for generated codelets.
+
+The engine needs a deterministic cost for every codelet.  For intrinsic
+kernels the cost formulas live in :mod:`repro.machine.cycles`; for generated
+CodeDSL codelets we *interpret the IR symbolically*, evaluating loop bounds
+against the actual shard sizes bound to the vertex and counting arithmetic
+operations.  Data-dependent constructs use conservative conventions:
+
+- ``If``: the more expensive branch is charged (the worst case the BSP
+  schedule must budget for),
+- ``While``: one iteration is charged per estimate (callers with known trip
+  counts should use ``For``).
+"""
+
+from __future__ import annotations
+
+from repro.codedsl import builder as B
+from repro.codedsl import values as V
+
+__all__ = ["estimate_flops"]
+
+#: Arithmetic ops counted per expression node kind.
+_ARITH_BINOPS = {"+", "-", "*", "/", "//", "%"}
+_CMP_BINOPS = {"==", "!=", "<", "<=", ">", ">=", "and", "or"}
+
+
+class _Estimator:
+    def __init__(self, bindings: dict):
+        # Param name -> bound object (array with .size, or scalar).
+        self.bindings = bindings
+
+    # -- expression: (value if statically evaluable else None, flop count) ------------
+
+    def expr(self, node: V.Node):
+        if isinstance(node, V.Const):
+            return node.value, 0
+        if isinstance(node, V.Param):
+            b = self.bindings.get(node.name)
+            if b is not None and not hasattr(b, "size"):
+                return b, 0  # scalar parameter with a known value
+            return None, 0
+        if isinstance(node, (V.LocalVar, V.LoopVar)):
+            return None, 0
+        if isinstance(node, V.SizeOf):
+            arr = node.array
+            if isinstance(arr, V.Param):
+                b = self.bindings.get(arr.name)
+                if b is not None and hasattr(b, "size"):
+                    return int(b.size), 0
+            return None, 0
+        if isinstance(node, V.BinOp):
+            lv, lf = self.expr(node.left)
+            rv, rf = self.expr(node.right)
+            cost = lf + rf + 1
+            if lv is not None and rv is not None:
+                try:
+                    val = _apply(node.op, lv, rv)
+                    return val, cost
+                except ZeroDivisionError:
+                    return None, cost
+            return None, cost
+        if isinstance(node, V.UnOp):
+            v, f = self.expr(node.operand)
+            if v is not None:
+                return (-v if node.op == "-" else (not v)), f + 1
+            return None, f + 1
+        if isinstance(node, V.CallOp):
+            flops = 1
+            for a in node.args:
+                flops += self.expr(a)[1]
+            return None, flops
+        if isinstance(node, V.IndexOp):
+            return None, self.expr(node.index)[1]
+        if isinstance(node, V.SelectOp):
+            cf = self.expr(node.cond)[1]
+            tf = self.expr(node.if_true)[1]
+            ff = self.expr(node.if_false)[1]
+            return None, cf + max(tf, ff) + 1
+        raise TypeError(f"unknown node {node!r}")
+
+    # -- statements ------------------------------------------------------------------
+
+    def block(self, body) -> int:
+        return sum(self.stmt(s) for s in body)
+
+    def stmt(self, stmt) -> int:
+        if isinstance(stmt, B.Store):
+            return self.expr(stmt.value)[1] + self.expr(stmt.index)[1]
+        if isinstance(stmt, (B.DeclareLocal, B.AssignLocal)):
+            return self.expr(stmt.value)[1]
+        if isinstance(stmt, B.ForStmt):
+            trips = self._trip_count(stmt)
+            per_iter = self.block(stmt.body) + 1  # +1: induction update
+            return trips * per_iter
+        if isinstance(stmt, B.WhileStmt):
+            return self.expr(stmt.cond)[1] + self.block(stmt.body)
+        if isinstance(stmt, B.IfStmt):
+            return self.expr(stmt.cond)[1] + max(
+                self.block(stmt.then_body), self.block(stmt.else_body)
+            )
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _trip_count(self, stmt: B.ForStmt) -> int:
+        start, _ = self.expr(stmt.start)
+        stop, _ = self.expr(stmt.stop)
+        step, _ = self.expr(stmt.step)
+        if start is None or stop is None or step in (None, 0):
+            return 1  # unknown bounds: charge one iteration
+        trips = (stop - start + step - 1) // step if step > 0 else 0
+        return max(int(trips), 0)
+
+
+def _apply(op, a, b):
+    return {
+        "+": lambda: a + b,
+        "-": lambda: a - b,
+        "*": lambda: a * b,
+        "/": lambda: a / b,
+        "//": lambda: a // b,
+        "%": lambda: a % b,
+        "==": lambda: a == b,
+        "!=": lambda: a != b,
+        "<": lambda: a < b,
+        "<=": lambda: a <= b,
+        ">": lambda: a > b,
+        ">=": lambda: a >= b,
+        "and": lambda: a and b,
+        "or": lambda: a or b,
+    }[op]()
+
+
+def estimate_flops(ir: B.CodeletIR, bindings: dict) -> int:
+    """Count arithmetic operations of one codelet invocation.
+
+    ``bindings`` maps parameter names to the objects the vertex will pass
+    (arrays contribute their ``.size`` to loop bounds, scalars their value).
+    """
+    return _Estimator(bindings).block(ir.body)

@@ -1,0 +1,238 @@
+"""CodeDSL expression IR: dynamically-typed values with operator overloading.
+
+A :class:`Value` wraps an expression node.  Applying Python operators to
+Values (or mixing them with Python numbers) builds larger expressions — no
+computation happens until the codelet is compiled and run.  This mirrors the
+paper's dynamically-typed embedded C++ DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Node",
+    "Const",
+    "Param",
+    "LocalVar",
+    "LoopVar",
+    "BinOp",
+    "UnOp",
+    "CallOp",
+    "IndexOp",
+    "SizeOf",
+    "SelectOp",
+    "Value",
+    "ArrayRef",
+    "Select",
+    "as_node",
+]
+
+
+# -- IR nodes ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+@dataclass(frozen=True)
+class Const(Node):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class LocalVar(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class LoopVar(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str  # +, -, *, /, //, %, ==, !=, <, <=, >, >=, and, or
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class UnOp(Node):
+    op: str  # -, not
+    operand: Node
+
+
+@dataclass(frozen=True)
+class CallOp(Node):
+    fn: str  # abs, sqrt, min, max
+    args: tuple
+
+
+@dataclass(frozen=True)
+class IndexOp(Node):
+    array: Node
+    index: Node
+
+
+@dataclass(frozen=True)
+class SizeOf(Node):
+    array: Node
+
+
+@dataclass(frozen=True)
+class SelectOp(Node):
+    cond: Node
+    if_true: Node
+    if_false: Node
+
+
+# -- user-facing wrappers ------------------------------------------------------------
+
+
+def as_node(x) -> Node:
+    if isinstance(x, Value):
+        return x.node
+    if isinstance(x, (int, float, bool)):
+        return Const(x)
+    # NumPy scalars etc. — anything with a float conversion.
+    try:
+        return Const(float(x))
+    except (TypeError, ValueError):
+        raise TypeError(f"cannot use {x!r} in a CodeDSL expression") from None
+
+
+class Value:
+    """A dynamically-typed DSL value."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # arithmetic -------------------------------------------------------------------
+    def _bin(self, op, other, swap=False):
+        a, b = as_node(self), as_node(other)
+        if swap:
+            a, b = b, a
+        return Value(BinOp(op, a, b))
+
+    def __add__(self, o):
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __rtruediv__(self, o):
+        return self._bin("/", o, swap=True)
+
+    def __floordiv__(self, o):
+        return self._bin("//", o)
+
+    def __rfloordiv__(self, o):
+        return self._bin("//", o, swap=True)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __rmod__(self, o):
+        return self._bin("%", o, swap=True)
+
+    def __neg__(self):
+        return Value(UnOp("-", as_node(self)))
+
+    def __abs__(self):
+        return Value(CallOp("abs", (as_node(self),)))
+
+    # comparisons ----------------------------------------------------------------------
+    def __eq__(self, o):  # type: ignore[override]
+        return self._bin("==", o)
+
+    def __ne__(self, o):  # type: ignore[override]
+        return self._bin("!=", o)
+
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    # logic ------------------------------------------------------------------------------
+    def logical_and(self, o):
+        return self._bin("and", o)
+
+    def logical_or(self, o):
+        return self._bin("or", o)
+
+    def logical_not(self):
+        return Value(UnOp("not", as_node(self)))
+
+    __hash__ = None  # Values are expressions, not hashable keys
+
+    def __bool__(self):
+        raise TypeError(
+            "CodeDSL Values have no Python truth value; use If()/While()/Select() "
+            "so the condition becomes part of the generated codelet"
+        )
+
+    def __repr__(self):
+        return f"Value({self.node!r})"
+
+
+class ArrayRef(Value):
+    """A Value referring to an array parameter; supports indexing and ``.size``.
+
+    Reads use ``x[i]``.  Writes must use ``x.set(i, expr)`` (appending a store
+    statement to the enclosing :class:`~repro.codedsl.builder.CodeletIR`) —
+    Python's ``x[i] = v`` also works as sugar inside an open IR context.
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, index) -> Value:
+        return Value(IndexOp(as_node(self), as_node(index)))
+
+    def __setitem__(self, index, value) -> None:
+        self.set(index, value)
+
+    def set(self, index, value) -> None:
+        from repro.codedsl.builder import current_ir
+
+        current_ir().emit_store(self, index, value)
+
+    @property
+    def size(self) -> Value:
+        return Value(SizeOf(as_node(self)))
+
+
+def Select(cond, if_true, if_false) -> Value:
+    """Ternary select — the DSL's ``cond ? a : b`` (Fig. 1)."""
+    return Value(SelectOp(as_node(cond), as_node(if_true), as_node(if_false)))

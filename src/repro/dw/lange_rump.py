@@ -1,0 +1,93 @@
+"""Fast ("sloppy") double-word arithmetic in the style of Lange & Rump (TOMS 2020).
+
+These variants omit normalization/renormalization steps, trading accuracy for
+speed: 7–25 flops per operation instead of Joldes et al.'s 20–34.  The error
+of a single operation is still O(u²), but — unlike the accurate family — the
+bounds assume inputs are well normalized and the *relative error grows with
+chained operations*, which is why the paper prefers the Joldes family for
+MPIR (Sec. III-D).  They are exposed for the arithmetic-variant ablation
+(bench A4) and for users whose workloads tolerate the looser bounds.
+
+Interface mirrors :mod:`repro.dw.joldes`: ``(hi, lo)`` pairs in and out.
+"""
+
+from __future__ import annotations
+
+from repro.dw.eft import fast_two_sum, fma, two_prod, two_sum
+
+__all__ = [
+    "add_dw_fp",
+    "add_dw_dw",
+    "sub_dw_dw",
+    "mul_dw_fp",
+    "mul_dw_dw",
+    "div_dw_fp",
+    "div_dw_dw",
+    "neg",
+    "FLOPS",
+    "CYCLES",
+]
+
+#: Floating-point operations per double-word operation (paper: "7 to 25").
+FLOPS = {"add": 11, "mul": 9, "div": 10}
+#: IPU cycles per double-word operation on one worker thread (6 cycles/flop,
+#: same conversion the Joldes family uses in Table I).
+CYCLES = {"add": 66, "mul": 54, "div": 60}
+
+
+def neg(xh, xl):
+    """Negate a double-word number (exact)."""
+    return -xh, -xl
+
+
+def add_dw_fp(xh, xl, y):
+    """Sloppy double-word + floating-point: skip the final renormalization's
+    second pass (error O(u²) but unnormalized output possible)."""
+    sh, sl = two_sum(xh, y)
+    return sh, sl + xl
+
+
+def add_dw_dw(xh, xl, yh, yl):
+    """SloppyDWPlusDW (Joldes Alg. 5 / Lange-Rump pair sum): 11 flops.
+
+    The relative error is unbounded when ``xh`` and ``yh`` nearly cancel with
+    opposite signs — the classic failure the accurate variant repairs.
+    """
+    sh, sl = two_sum(xh, yh)
+    v = xl + yl
+    w = sl + v
+    return fast_two_sum(sh, w)
+
+
+def sub_dw_dw(xh, xl, yh, yl):
+    """Sloppy double-word subtraction."""
+    return add_dw_dw(xh, xl, -yh, -yl)
+
+
+def mul_dw_fp(xh, xl, y):
+    """Sloppy double-word * floating-point: 5 flops, no renormalized tail EFT."""
+    ch, cl1 = two_prod(xh, y)
+    return ch, fma(xl, y, cl1)
+
+
+def mul_dw_dw(xh, xl, yh, yl):
+    """DWTimesDW1-style product without the low-low term and without
+    renormalization: 9 flops."""
+    ch, cl1 = two_prod(xh, yh)
+    p = fma(xh, yl, xl * yh)
+    return ch, cl1 + p
+
+
+def div_dw_fp(xh, xl, y):
+    """Sloppy double-word / floating-point: single residual correction, 7 flops."""
+    th = xh / y
+    r = fma(-th, y, xh) + xl
+    return th, r / y
+
+
+def div_dw_dw(xh, xl, yh, yl):
+    """Sloppy double-word / double-word: working-precision quotient plus one
+    unnormalized correction, 10 flops."""
+    th = xh / yh
+    r = fma(-th, yh, xh) + (xl - th * yl)
+    return th, r / yh

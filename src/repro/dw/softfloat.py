@@ -1,0 +1,34 @@
+"""Software-emulated double precision (the DSLs' third extended type).
+
+The paper's framework emulates IEEE binary64 in software (compiler-rt style)
+when double-word range/precision is insufficient.  A bit-level soft-float
+implementation would execute the *same rounding* NumPy's float64 already
+performs, so numerically we delegate to NumPy float64; what distinguishes the
+emulated type is its *cost*, which the machine cycle model charges per
+Table I (≈1080/1260/2520 cycles for add/mul/div — roughly 8× the double-word
+cost).  This module carries those constants plus the conversion helpers the
+tensor DSL uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CYCLES", "DIGITS", "to_emulated", "from_emulated"]
+
+#: IPU cycles per emulated binary64 operation on one worker thread (Table I,
+#: midpoint of "depends on whether normalization of the result is required").
+CYCLES = {"add": 1080, "mul": 1260, "div": 2520}
+
+#: Decimal digits of precision (Table I).
+DIGITS = 16.0
+
+
+def to_emulated(values) -> np.ndarray:
+    """Convert working-precision values to the emulated binary64 type."""
+    return np.asarray(values, dtype=np.float64)
+
+
+def from_emulated(values) -> np.ndarray:
+    """Round emulated binary64 values back to working precision (float32)."""
+    return np.asarray(values, dtype=np.float64).astype(np.float32)

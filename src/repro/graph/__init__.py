@@ -1,0 +1,52 @@
+"""Poplar-like programming layer: dataflow graph, schedule, engine.
+
+The IPU's programming model (Sec. II-A) consists of three artifacts the
+programmer normally constructs by hand — a dataflow graph of vertices over
+tensors, an execution schedule of program steps, and C++ codelets.  This
+package provides those artifacts; the DSLs of :mod:`repro.codedsl` and
+:mod:`repro.tensordsl` generate them via symbolic execution.
+
+- :mod:`repro.graph.variable` — tensors with explicit tile mappings,
+- :mod:`repro.graph.codelet` — codelets, vertices, compute sets,
+- :mod:`repro.graph.program` — the execution-schedule step types,
+- :mod:`repro.graph.engine` — executes a schedule on the machine model,
+- :mod:`repro.graph.compiler` — graph statistics & lowering (the
+  compile-time proxy used by the ablation benches).
+"""
+
+from repro.graph.variable import Interval, Variable
+from repro.graph.codelet import Codelet, ComputeSet, Vertex
+from repro.graph.graph import Graph
+from repro.graph.program import (
+    Execute,
+    Exchange,
+    HostCallback,
+    If,
+    RegionCopy,
+    Repeat,
+    RepeatWhile,
+    Sequence,
+)
+from repro.graph.engine import Engine
+from repro.graph.compiler import GraphStats, collect_stats, describe
+
+__all__ = [
+    "Interval",
+    "Variable",
+    "Codelet",
+    "Vertex",
+    "ComputeSet",
+    "Graph",
+    "Sequence",
+    "Execute",
+    "Exchange",
+    "RegionCopy",
+    "Repeat",
+    "RepeatWhile",
+    "If",
+    "HostCallback",
+    "Engine",
+    "GraphStats",
+    "collect_stats",
+    "describe",
+]

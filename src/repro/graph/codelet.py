@@ -1,0 +1,93 @@
+"""Codelets, vertices, and compute sets.
+
+A codelet is the unit of computation scheduled on a tile (the analogue of a
+Poplar C++ codelet).  It bundles
+
+- ``run(ctx)``: the computation over tile-local shard arrays, and
+- ``cycles(ctx)``: the deterministic cycle cost, either an ``int`` (runs on
+  one worker) or a list of per-worker costs (≤ 6 entries).
+
+The context ``ctx`` maps parameter names to the bound shard arrays; a
+double-word parameter ``p`` binds both ``p`` (hi) and ``p.lo``.  Codelets
+must be pure over their bindings so the engine stays deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Codelet", "Vertex", "ComputeSet"]
+
+
+class Codelet:
+    """A named tile-local computation with a cycle cost model."""
+
+    def __init__(self, name: str, run, cycles, category: str = "elementwise"):
+        self.name = name
+        self._run = run
+        self._cycles = cycles
+        #: Profiler bucket (Table IV buckets: spmv / ilu_solve / reduce /
+        #: elementwise / extended_precision / ...).
+        self.category = category
+
+    def run(self, ctx: dict) -> None:
+        self._run(ctx)
+
+    def cycles(self, ctx: dict):
+        c = self._cycles(ctx) if callable(self._cycles) else self._cycles
+        return c
+
+    def __repr__(self):
+        return f"Codelet({self.name!r})"
+
+
+class Vertex:
+    """A codelet instance placed on a tile with its shard bindings resolved."""
+
+    __slots__ = ("codelet", "tile_id", "ctx")
+
+    def __init__(self, codelet: Codelet, tile_id: int, ctx: dict):
+        self.codelet = codelet
+        self.tile_id = tile_id
+        self.ctx = ctx
+
+    def run(self) -> None:
+        self.codelet.run(self.ctx)
+
+    def worker_cycles(self) -> list:
+        """Cycle cost as a per-worker list."""
+        c = self.codelet.cycles(self.ctx)
+        if isinstance(c, (int, float)):
+            return [int(c)]
+        return [int(x) for x in c]
+
+    def __repr__(self):
+        return f"Vertex({self.codelet.name!r}@tile{self.tile_id})"
+
+
+class ComputeSet:
+    """A group of vertices that execute in one BSP compute phase.
+
+    Poplar inserts a synchronization before every compute set; the engine
+    charges that sync and prices the phase as the slowest tile's worker
+    makespan.
+    """
+
+    def __init__(self, name: str, category: str | None = None):
+        self.name = name
+        self.vertices: list[Vertex] = []
+        self.category = category
+
+    def add(self, vertex: Vertex) -> Vertex:
+        self.vertices.append(vertex)
+        return vertex
+
+    def add_vertex(self, codelet: Codelet, tile_id: int, ctx: dict) -> Vertex:
+        return self.add(Vertex(codelet, tile_id, ctx))
+
+    def tiles(self):
+        return sorted({v.tile_id for v in self.vertices})
+
+    def __len__(self):
+        return len(self.vertices)
+
+    def __repr__(self):
+        return f"ComputeSet({self.name!r}, {len(self.vertices)} vertices)"

@@ -1,0 +1,143 @@
+"""Graph "compilation" statistics and the compile-time proxy.
+
+The Poplar graph compiler's running time grows with the number of vertices,
+compute sets, and program steps — the paper twice engineers around this
+(delayed materialization in Sec. III-C, IPUTHREADING in Sec. V-A).  The real
+compiler is out of scope; what the ablation benches need is the *size* of
+the generated artifacts, which this module measures by walking a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.program import (
+    Execute,
+    Exchange,
+    HostCallback,
+    If,
+    Repeat,
+    RepeatWhile,
+    Sequence,
+    Step,
+)
+
+__all__ = ["GraphStats", "collect_stats", "describe"]
+
+# Weights of the linear compile-time proxy, in arbitrary "compiler work"
+# units per artifact.  Vertices dominate (each becomes codelet instances the
+# compiler places and schedules); exchange copies each become communication
+# instructions it must route.
+_W_VERTEX = 10
+_W_COMPUTE_SET = 25
+_W_STEP = 1
+_W_COPY = 4
+
+
+@dataclass
+class GraphStats:
+    steps: int = 0
+    compute_sets: int = 0
+    vertices: int = 0
+    exchanges: int = 0
+    region_copies: int = 0
+    host_callbacks: int = 0
+
+    @property
+    def compile_proxy(self) -> int:
+        """Scalar proxy for Poplar graph-compilation effort."""
+        return (
+            _W_VERTEX * self.vertices
+            + _W_COMPUTE_SET * self.compute_sets
+            + _W_STEP * self.steps
+            + _W_COPY * self.region_copies
+        )
+
+    def __add__(self, other: "GraphStats") -> "GraphStats":
+        return GraphStats(
+            steps=self.steps + other.steps,
+            compute_sets=self.compute_sets + other.compute_sets,
+            vertices=self.vertices + other.vertices,
+            exchanges=self.exchanges + other.exchanges,
+            region_copies=self.region_copies + other.region_copies,
+            host_callbacks=self.host_callbacks + other.host_callbacks,
+        )
+
+
+def collect_stats(step: Step, _seen=None) -> GraphStats:
+    """Walk a schedule and tally the artifacts the graph compiler would see.
+
+    Loop bodies are counted once — the compiler compiles each body a single
+    time regardless of the trip count.  Compute sets reached through several
+    paths are also counted once.
+    """
+    seen = _seen if _seen is not None else set()
+    stats = GraphStats()
+    stats.steps += 1
+    if isinstance(step, Sequence):
+        for s in step.steps:
+            stats += collect_stats(s, seen)
+    elif isinstance(step, Execute):
+        if id(step.compute_set) not in seen:
+            seen.add(id(step.compute_set))
+            stats.compute_sets += 1
+            stats.vertices += len(step.compute_set)
+    elif isinstance(step, Exchange):
+        stats.exchanges += 1
+        stats.region_copies += len(step.copies)
+    elif isinstance(step, (Repeat, RepeatWhile)):
+        stats += collect_stats(step.body, seen)
+    elif isinstance(step, If):
+        stats += collect_stats(step.then_body, seen)
+        if step.else_body is not None:
+            stats += collect_stats(step.else_body, seen)
+    elif isinstance(step, HostCallback):
+        stats.host_callbacks += 1
+    return stats
+
+
+def describe(step: Step, max_depth: int = 8) -> str:
+    """Human-readable outline of an execution schedule (debugging aid).
+
+    Mirrors what Poplar's report shows for a compiled program: the step
+    tree with compute-set sizes and exchange copy counts.
+    """
+    lines: list[str] = []
+
+    def walk(s: Step, depth: int) -> None:
+        pad = "  " * depth
+        if depth > max_depth:
+            lines.append(pad + "...")
+            return
+        if isinstance(s, Sequence):
+            lines.append(f"{pad}Sequence[{len(s.steps)}]")
+            for child in s.steps:
+                walk(child, depth + 1)
+        elif isinstance(s, Execute):
+            cs = s.compute_set
+            lines.append(
+                f"{pad}Execute({cs.name}, {len(cs)} vertices on "
+                f"{len(cs.tiles())} tiles, category={cs.category or 'auto'})"
+            )
+        elif isinstance(s, Exchange):
+            nbytes = sum(rc.size * rc.src_var.element_bytes() for rc in s.copies)
+            lines.append(f"{pad}Exchange({len(s.copies)} region copies, {nbytes} B)")
+        elif isinstance(s, Repeat):
+            lines.append(f"{pad}Repeat(x{s.count})")
+            walk(s.body, depth + 1)
+        elif isinstance(s, RepeatWhile):
+            lines.append(f"{pad}RepeatWhile({s.cond.name}, max={s.max_iterations})")
+            walk(s.body, depth + 1)
+        elif isinstance(s, If):
+            lines.append(f"{pad}If({s.cond.name})")
+            walk(s.then_body, depth + 1)
+            if s.else_body is not None:
+                lines.append(pad + "Else")
+                walk(s.else_body, depth + 1)
+        elif isinstance(s, HostCallback):
+            lines.append(f"{pad}HostCallback({s.name})")
+        else:
+            lines.append(f"{pad}{type(s).__name__}")
+
+    walk(step, 0)
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""The engine: executes an execution schedule on the machine model.
+
+This is the analogue of ``poplar::Engine`` running a compiled graph program
+on hardware (or on Poplar's simulator — which is precisely what we are).
+Execution is deterministic: the same program on the same inputs always
+produces the same results *and the same cycle counts*, mirroring the
+measurement methodology of Sec. VI-A.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.program import (
+    Execute,
+    Exchange,
+    HostCallback,
+    If,
+    Repeat,
+    RepeatWhile,
+    Sequence,
+    Step,
+)
+from repro.graph.variable import Variable
+from repro.machine.fabric import Transfer
+
+__all__ = ["Engine"]
+
+#: Control-flow overhead charged per loop-iteration / branch decision
+#: (the IPU evaluates branch predicates with single-cycle latency, but the
+#: sync to agree on the branch across tiles is not free).
+CONTROL_CYCLES = 8
+
+
+class Engine:
+    """Executes program steps against a :class:`~repro.graph.Graph`."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.device = graph.device
+        self.profiler = graph.device.profiler
+        # Execution statistics (compile-proxy counters live in compiler.py).
+        self.supersteps = 0
+        self.exchanges = 0
+        self.host_callbacks = 0
+        self.loop_iterations = 0
+
+    # -- host data interface ---------------------------------------------------------
+
+    def read(self, var: Variable) -> np.ndarray:
+        return var.gather()
+
+    def write(self, var: Variable, values) -> None:
+        var.scatter(values)
+
+    def read_scalar(self, var: Variable) -> float:
+        if not var.is_scalar:
+            raise ValueError(f"{var.name!r} is not a scalar")
+        sh = var.shards[min(var.shards)]
+        val = float(sh.data[0])
+        if sh.lo is not None:
+            val += float(sh.lo[0])
+        return val
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, step: Step) -> None:
+        """Execute one step (typically the whole program Sequence)."""
+        if isinstance(step, Sequence):
+            for s in step.steps:
+                self.run(s)
+        elif isinstance(step, Execute):
+            self._run_compute_set(step)
+        elif isinstance(step, Exchange):
+            self._run_exchange(step)
+        elif isinstance(step, Repeat):
+            for _ in range(step.count):
+                self.loop_iterations += 1
+                self.profiler.record("control", CONTROL_CYCLES)
+                self.run(step.body)
+        elif isinstance(step, RepeatWhile):
+            self._run_repeat_while(step)
+        elif isinstance(step, If):
+            self.profiler.record("control", CONTROL_CYCLES)
+            if self.read_scalar(step.cond) != 0.0:
+                self.run(step.then_body)
+            elif step.else_body is not None:
+                self.run(step.else_body)
+        elif isinstance(step, HostCallback):
+            self.host_callbacks += 1
+            step.fn(self)
+        else:
+            raise TypeError(f"unknown program step: {step!r}")
+
+    # -- compute phases -----------------------------------------------------------------
+
+    def _run_compute_set(self, step: Execute) -> None:
+        cs = step.compute_set
+        self.supersteps += 1
+        worst_tile = 0
+        per_tile: dict[int, list] = {}
+        category = cs.category
+        for v in cs.vertices:
+            per_tile.setdefault(v.tile_id, []).append(v)
+            if category is None:
+                category = v.codelet.category
+        for tile_id, vertices in per_tile.items():
+            tasks = []
+            for v in vertices:
+                v.run()
+                tasks.extend(v.worker_cycles())
+            worst_tile = max(worst_tile, self._pack_workers(tasks))
+        cycles = self.device.model.sync() + worst_tile
+        self.profiler.record(category or "elementwise", cycles)
+
+    def _pack_workers(self, tasks) -> int:
+        """Makespan of ``tasks`` on the tile's 6 workers (LPT packing)."""
+        w = self.device.spec.workers_per_tile
+        if len(tasks) <= w:
+            return max(tasks, default=0)
+        heap = [0] * w
+        for t in sorted(tasks, reverse=True):
+            heapq.heappush(heap, heapq.heappop(heap) + t)
+        return max(heap)
+
+    # -- exchange phases -----------------------------------------------------------------
+
+    def _run_exchange(self, step: Exchange) -> None:
+        self.exchanges += 1
+        transfers = []
+        local_cycles = 0
+        for rc in step.copies:
+            src_sh = rc.src_var.shard(rc.src_tile)
+            src_hi = src_sh.data[rc.src_offset : rc.src_offset + rc.size]
+            src_lo = (
+                src_sh.lo[rc.src_offset : rc.src_offset + rc.size]
+                if src_sh.lo is not None
+                else None
+            )
+            remote_dests = []
+            for dst_var, dst_tile, dst_offset in rc.dests:
+                dst_sh = dst_var.shard(dst_tile)
+                dst_sh.data[dst_offset : dst_offset + rc.size] = src_hi
+                if src_lo is not None and dst_sh.lo is not None:
+                    dst_sh.lo[dst_offset : dst_offset + rc.size] = src_lo
+                if dst_tile != rc.src_tile:
+                    remote_dests.append(dst_tile)
+                else:
+                    # On-tile memcpy: 8 bytes per cycle through the st64 path.
+                    local_cycles = max(
+                        local_cycles, (rc.size * rc.src_var.element_bytes() + 7) // 8
+                    )
+            if remote_dests:
+                nbytes = rc.size * rc.src_var.element_bytes()
+                transfers.append(Transfer(rc.src_tile, tuple(remote_dests), nbytes))
+        phase = self.device.fabric.run(transfers)
+        self.profiler.record(step.name, phase.cycles + local_cycles)
+
+    # -- loops -------------------------------------------------------------------------
+
+    def _run_repeat_while(self, step: RepeatWhile) -> None:
+        iters = 0
+        while True:
+            if step.check_before_first or iters > 0:
+                self.profiler.record("control", CONTROL_CYCLES)
+                if self.read_scalar(step.cond) == 0.0:
+                    break
+            if iters >= step.max_iterations:
+                break
+            iters += 1
+            self.loop_iterations += 1
+            self.run(step.body)

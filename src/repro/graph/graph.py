@@ -1,0 +1,120 @@
+"""The dataflow graph: owns variables and allocates their shards in tile SRAM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.variable import Interval, NUMPY_DTYPES, Shard, Variable
+from repro.machine.device import IPUDevice
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Container for variables mapped onto an :class:`~repro.machine.IPUDevice`.
+
+    Mirrors ``poplar::Graph``: variables are declared with an explicit tile
+    mapping and their storage is allocated immediately in tile SRAM (there
+    is no lazy placement on a cacheless machine).
+    """
+
+    def __init__(self, device: IPUDevice):
+        self.device = device
+        self.variables: dict[str, Variable] = {}
+        self._uid = 0
+
+    # -- naming ---------------------------------------------------------------------
+
+    def unique_name(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}#{self._uid}"
+
+    # -- variable creation ------------------------------------------------------------
+
+    def add_variable(self, name: str, shape, dtype: str = "float32", mapping=None) -> Variable:
+        """Create a variable sharded by ``mapping`` (list of Intervals).
+
+        Without a mapping, the elements are spread linearly and evenly over
+        all tiles (Poplar's ``mapLinearly``); scalars land on tile 0.
+        """
+        var = Variable(name, shape, dtype)
+        if mapping is None:
+            mapping = self.linear_mapping(var.size)
+        self._check_mapping(var, mapping)
+        self._allocate(var, mapping)
+        return self._register(var)
+
+    def add_replicated(self, name: str, shape, dtype: str = "float32", tile_ids=None) -> Variable:
+        """Create a variable with a full copy on every tile in ``tile_ids``
+        (default: all tiles).  Used for solver scalars."""
+        var = Variable(name, shape, dtype, replicated=True)
+        tiles = list(tile_ids) if tile_ids is not None else range(self.device.num_tiles)
+        for t in tiles:
+            self._alloc_shard(var, Interval(t, 0, var.size))
+        return self._register(var)
+
+    def add_single_tile(self, name: str, shape, dtype: str = "float32", tile_id: int = 0) -> Variable:
+        """Create a variable living entirely on one tile."""
+        var = Variable(name, shape, dtype)
+        self._alloc_shard(var, Interval(tile_id, 0, var.size))
+        return self._register(var)
+
+    def _register(self, var: Variable) -> Variable:
+        if var.name in self.variables:
+            raise KeyError(f"variable {var.name!r} already exists")
+        self.variables[var.name] = var
+        return var
+
+    # -- mapping helpers ------------------------------------------------------------
+
+    def linear_mapping(self, size: int, tile_ids=None) -> list:
+        """Evenly split ``size`` elements across tiles, remainder spread first."""
+        tiles = list(tile_ids) if tile_ids is not None else list(range(self.device.num_tiles))
+        if size == 0:
+            return []
+        if size <= len(tiles):
+            return [Interval(tiles[i], i, i + 1) for i in range(size)]
+        base, extra = divmod(size, len(tiles))
+        mapping, start = [], 0
+        for i, t in enumerate(tiles):
+            n = base + (1 if i < extra else 0)
+            mapping.append(Interval(t, start, start + n))
+            start += n
+        return mapping
+
+    @staticmethod
+    def _check_mapping(var: Variable, mapping) -> None:
+        pos = 0
+        for iv in sorted(mapping, key=lambda iv: iv.start):
+            if iv.start != pos or iv.stop <= iv.start:
+                raise ValueError(f"mapping of {var.name!r} has gaps/overlaps at {iv}")
+            pos = iv.stop
+        if pos != var.size:
+            raise ValueError(
+                f"mapping of {var.name!r} covers {pos} of {var.size} elements"
+            )
+
+    # -- storage ---------------------------------------------------------------------
+
+    def _allocate(self, var: Variable, mapping) -> None:
+        for iv in mapping:
+            self._alloc_shard(var, iv)
+
+    def _alloc_shard(self, var: Variable, iv: Interval) -> None:
+        tile = self.device.tile(iv.tile_id)
+        np_dtype = NUMPY_DTYPES[var.dtype]
+        data = tile.alloc(f"{var.name}@{iv.tile_id}", np.zeros(iv.size, dtype=np_dtype))
+        lo = None
+        if var.paired:
+            lo = tile.alloc(f"{var.name}@{iv.tile_id}!lo", np.zeros(iv.size, dtype=np.float32))
+        var.shards[iv.tile_id] = Shard(data, lo, iv)
+
+    def free(self, var: Variable) -> None:
+        """Release a variable's SRAM (e.g. solver temporaries)."""
+        for t, sh in var.shards.items():
+            tile = self.device.tile(t)
+            tile.free(f"{var.name}@{t}")
+            if sh.lo is not None:
+                tile.free(f"{var.name}@{t}!lo")
+        del self.variables[var.name]
+        var.shards.clear()

@@ -1,0 +1,116 @@
+"""Execution-schedule step types (Poplar program steps).
+
+The schedule is a DAG of steps; our step set covers what the framework
+needs: compute-set execution, tensor copies/exchanges, counted and
+conditional loops, branches, and host callbacks (used for data transfer and
+progress reporting, Sec. III-A step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.codelet import ComputeSet
+from repro.graph.variable import Variable
+
+__all__ = [
+    "Step",
+    "Sequence",
+    "Execute",
+    "RegionCopy",
+    "Exchange",
+    "Repeat",
+    "RepeatWhile",
+    "If",
+    "HostCallback",
+]
+
+
+class Step:
+    """Base class for schedule steps (marker only)."""
+
+
+@dataclass
+class Sequence(Step):
+    """Run ``steps`` in order."""
+
+    steps: list = field(default_factory=list)
+
+    def add(self, step: Step) -> Step:
+        self.steps.append(step)
+        return step
+
+
+@dataclass
+class Execute(Step):
+    """Run one compute set (one BSP compute phase)."""
+
+    compute_set: ComputeSet
+
+
+@dataclass(frozen=True)
+class RegionCopy:
+    """One blockwise copy of ``size`` contiguous elements.
+
+    ``src`` / each destination is ``(variable, tile_id, local_offset)``; the
+    copy broadcasts the source region to every destination, which is exactly
+    the primitive the Sec. IV reordering strategy reduces halo exchange to.
+    """
+
+    src_var: Variable
+    src_tile: int
+    src_offset: int
+    dests: tuple  # of (dst_var, dst_tile, dst_offset)
+    size: int
+
+
+@dataclass
+class Exchange(Step):
+    """A BSP exchange phase: a set of region copies executed simultaneously."""
+
+    copies: list
+    name: str = "exchange"
+
+
+@dataclass
+class Repeat(Step):
+    """Run ``body`` a fixed ``count`` times."""
+
+    count: int
+    body: Step
+
+
+@dataclass
+class RepeatWhile(Step):
+    """Run ``body`` while the scalar ``cond`` variable is nonzero.
+
+    The condition tensor is produced on-device by the body (e.g. the
+    ``terminate`` flag of Fig. 4); ``max_iterations`` is a safety net so a
+    non-converging solver cannot hang the engine.
+    """
+
+    cond: Variable
+    body: Step
+    max_iterations: int = 100_000
+    check_before_first: bool = True
+
+
+@dataclass
+class If(Step):
+    """Branch on a scalar condition variable."""
+
+    cond: Variable
+    then_body: Step
+    else_body: Step | None = None
+
+
+@dataclass
+class HostCallback(Step):
+    """Call back into host code mid-program (progress output, host I/O).
+
+    The callable receives the running engine; it may read/write variables
+    through the host interface but must not mutate the schedule.
+    """
+
+    fn: object
+    name: str = "host_callback"

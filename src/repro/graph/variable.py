@@ -1,0 +1,137 @@
+"""Graph variables: tensors with explicit tile mappings.
+
+A variable's data never lives in one place — it is sharded across tile SRAM
+according to its mapping, exactly as Poplar tensors are.  Three mapping
+shapes cover the framework's needs:
+
+- **linear**: contiguous index ranges across a set of tiles (vectors,
+  matrix row blocks),
+- **single-tile**: whole tensor on one tile,
+- **replicated**: every participating tile holds a full copy (solver
+  scalars like alpha/omega, which every tile consumes after a reduction).
+
+Double-word variables shard into *pairs* of float32 arrays (hi, lo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Interval", "Shard", "Variable", "NUMPY_DTYPES"]
+
+#: dtype-name -> numpy storage dtype of the primary (hi) array.
+NUMPY_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "dw": np.float32,
+    "int32": np.int32,
+}
+
+#: dtypes that carry a second (lo) float32 array per shard.
+_PAIRED = {"dw"}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous chunk ``[start, stop)`` of a variable on one tile."""
+
+    tile_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class Shard:
+    """The on-tile storage of one interval (or full copy) of a variable."""
+
+    __slots__ = ("data", "lo", "interval")
+
+    def __init__(self, data: np.ndarray, lo, interval: Interval):
+        self.data = data
+        self.lo = lo
+        self.interval = interval
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+
+class Variable:
+    """A tensor distributed over tile SRAM."""
+
+    def __init__(self, name: str, shape, dtype: str, replicated: bool = False):
+        if dtype not in NUMPY_DTYPES:
+            raise ValueError(f"unknown dtype {dtype!r}")
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self.replicated = replicated
+        self.shards: dict[int, Shard] = {}
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.size == 1
+
+    @property
+    def paired(self) -> bool:
+        return self.dtype in _PAIRED
+
+    @property
+    def tile_ids(self):
+        return sorted(self.shards)
+
+    def shard(self, tile_id: int) -> Shard:
+        return self.shards[tile_id]
+
+    def element_bytes(self) -> int:
+        base = np.dtype(NUMPY_DTYPES[self.dtype]).itemsize
+        return base * 2 if self.paired else base
+
+    # -- host-side whole-tensor access ---------------------------------------------
+
+    def gather(self) -> np.ndarray:
+        """Assemble the full tensor on the host (float64 view for dw)."""
+        if self.replicated:
+            first = self.shards[self.tile_ids[0]]
+            return self._join(first).reshape(self.shape)
+        out_dtype = np.float64 if self.paired else NUMPY_DTYPES[self.dtype]
+        flat = np.empty(self.size, dtype=out_dtype)
+        for sh in self.shards.values():
+            flat[sh.interval.start : sh.interval.stop] = self._join(sh)
+        return flat.reshape(self.shape)
+
+    def scatter(self, values) -> None:
+        """Write a full host tensor into the shards."""
+        flat = np.asarray(values).reshape(-1)
+        if flat.size != self.size:
+            raise ValueError(f"size mismatch: {flat.size} != {self.size}")
+        for sh in self.shards.values():
+            chunk = flat if self.replicated else flat[sh.interval.start : sh.interval.stop]
+            self._write(sh, chunk)
+
+    def _join(self, sh: Shard) -> np.ndarray:
+        if self.paired:
+            return sh.data.astype(np.float64) + sh.lo.astype(np.float64)
+        return sh.data.copy()
+
+    def _write(self, sh: Shard, values) -> None:
+        if self.paired:
+            v = np.asarray(values, dtype=np.float64)
+            hi = v.astype(np.float32)
+            sh.data[...] = hi
+            sh.lo[...] = (v - hi.astype(np.float64)).astype(np.float32)
+        else:
+            sh.data[...] = np.asarray(values, dtype=sh.data.dtype)
+
+    def __repr__(self):
+        kind = "replicated" if self.replicated else f"{len(self.shards)} shards"
+        return f"Variable({self.name!r}, shape={self.shape}, dtype={self.dtype}, {kind})"

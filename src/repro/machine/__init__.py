@@ -1,0 +1,33 @@
+"""Deterministic machine model of the GraphCore Mk2 IPU.
+
+The paper measures IPU performance with Poplar's cycle profiler, relying on
+the architecture's determinism ("the execution time is the same for every
+invocation").  This package reproduces that measurement methodology in
+software: a Bulk-Synchronous-Parallel machine with
+
+- tiles holding exclusive SRAM (:mod:`repro.machine.tile`),
+- six independent worker threads per tile,
+- an all-to-all on-chip exchange fabric and inter-chip IPU-Links
+  (:mod:`repro.machine.fabric`),
+- the per-operation cycle costs of Table I (:mod:`repro.machine.cycles`),
+- a hierarchical cycle profiler (:mod:`repro.machine.profiler`), and
+- the IPUTHREADING worker-spawn model (:mod:`repro.machine.threading`).
+"""
+
+from repro.machine.spec import IPUSpec, MK2
+from repro.machine.cycles import CycleModel
+from repro.machine.tile import Tile
+from repro.machine.fabric import ExchangeFabric, Transfer
+from repro.machine.device import IPUDevice
+from repro.machine.profiler import Profiler
+
+__all__ = [
+    "IPUSpec",
+    "MK2",
+    "CycleModel",
+    "Tile",
+    "ExchangeFabric",
+    "Transfer",
+    "IPUDevice",
+    "Profiler",
+]

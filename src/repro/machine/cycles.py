@@ -1,0 +1,142 @@
+"""Per-operation cycle cost model (Table I of the paper).
+
+Costs are *per worker thread*: a scalar float32 op occupies one 6-cycle slot
+of the rotating pipeline; double-word and emulated-double ops are software
+sequences whose cycle counts the paper measured on hardware.  The IPU's
+two-pipeline design lets loads/stores dual-issue with float ops, so memory
+accesses inside arithmetic kernels are not charged separately (Sec. VI-D
+factor three).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dw import joldes, lange_rump, softfloat
+from repro.machine.spec import MK2, IPUSpec
+
+__all__ = ["CycleModel", "OP_CYCLES"]
+
+#: Cycles per scalar operation on one worker, by dtype name and op.
+#: float32 is native (Table I row 1); "dw"/"dw_fast" are the two TwoFloat
+#: families; "float64" is the soft-float emulation.
+OP_CYCLES = {
+    "float32": {"add": 6, "sub": 6, "mul": 6, "div": 6, "sqrt": 6, "abs": 6, "neg": 6, "cmp": 6},
+    "dw": {
+        "add": joldes.CYCLES["add"],
+        "sub": joldes.CYCLES["add"],
+        "mul": joldes.CYCLES["mul"],
+        "div": joldes.CYCLES["div"],
+        "sqrt": joldes.CYCLES["div"] + joldes.CYCLES["add"],
+        "abs": 6,
+        "neg": 6,
+        "cmp": 12,
+    },
+    "dw_fast": {
+        "add": lange_rump.CYCLES["add"],
+        "sub": lange_rump.CYCLES["add"],
+        "mul": lange_rump.CYCLES["mul"],
+        "div": lange_rump.CYCLES["div"],
+        "sqrt": lange_rump.CYCLES["div"] + lange_rump.CYCLES["add"],
+        "abs": 6,
+        "neg": 6,
+        "cmp": 12,
+    },
+    "float64": {
+        "add": softfloat.CYCLES["add"],
+        "sub": softfloat.CYCLES["add"],
+        "mul": softfloat.CYCLES["mul"],
+        "div": softfloat.CYCLES["div"],
+        "sqrt": softfloat.CYCLES["div"] + softfloat.CYCLES["add"],
+        "abs": 12,
+        "neg": 12,
+        "cmp": 24,
+    },
+}
+
+#: dtype name -> bytes per element as stored in tile SRAM.
+DTYPE_BYTES = {"float32": 4, "dw": 8, "dw_fast": 8, "float64": 8, "int32": 4}
+
+
+@dataclass
+class CycleModel:
+    """Translates operation counts into worker-thread cycles."""
+
+    spec: IPUSpec = field(default_factory=lambda: MK2)
+    #: Fixed per-codelet-invocation overhead (vertex dispatch + prologue).
+    vertex_overhead: int = 24
+    #: Per-matrix-row overhead in sparse kernels (pointer chase + branch;
+    #: single-cycle branches, Sec. II-C).
+    row_overhead: int = 4
+
+    def op(self, dtype: str, kind: str, count: int = 1) -> int:
+        """Cycles for `count` scalar operations of `kind` on one worker."""
+        return OP_CYCLES[dtype][kind] * count
+
+    def elementwise(self, dtype: str, ops_per_element: int, n_elements: int) -> int:
+        """Cycles for an elementwise kernel over ``n_elements`` on one worker.
+
+        float32 uses the 2-wide SIMD pipelines where available; extended
+        types are scalar software sequences.
+        """
+        per_el = OP_CYCLES[dtype]["add"] * ops_per_element  # homogeneous mix
+        if dtype == "float32":
+            lanes = self.spec.f32_vector_width
+            return self.vertex_overhead + math.ceil(n_elements / lanes) * per_el
+        return self.vertex_overhead + n_elements * per_el
+
+    def elementwise_mixed(self, dtype: str, op_counts: dict, n_elements: int) -> int:
+        """Like :meth:`elementwise` but with an explicit per-element op mix
+        (e.g. ``{"mul": 2, "add": 1}``)."""
+        per_el = sum(OP_CYCLES[dtype][k] * c for k, c in op_counts.items())
+        if dtype == "float32":
+            per_el = math.ceil(per_el / self.spec.f32_vector_width)
+        return self.vertex_overhead + n_elements * per_el
+
+    def spmv_rows(self, dtype: str, nnz: int, rows: int) -> int:
+        """Cycles for a CRS SpMV over ``rows`` rows / ``nnz`` off-diagonal
+        coefficients plus the dense-diagonal multiply, on one worker.
+
+        Per nonzero: one multiply + one add at scalar rate — the gathered
+        ``x[col]`` accesses defeat the 2-wide SIMD pairing (Sec. II-C), but
+        the dual-issue pipelines overlap the value/index loads with the
+        arithmetic (Sec. VI-D factor three).
+        """
+        per_nnz = OP_CYCLES[dtype]["mul"] + OP_CYCLES[dtype]["add"]
+        diag = OP_CYCLES[dtype]["mul"] * rows
+        return self.vertex_overhead + nnz * per_nnz + rows * self.row_overhead + diag
+
+    #: Extra per-row cycles in triangular sweeps: the loop-carried dependency
+    #: (each row needs the just-written neighbor values) defeats the
+    #: dual-issue overlap that SpMV enjoys — pointer chase, branch, and the
+    #: store-to-load stall are exposed.
+    triangular_row_overhead: int = 16
+
+    def triangular_rows(self, dtype: str, nnz: int, rows: int) -> int:
+        """Cycles for a (forward or backward) substitution sweep segment:
+        one mul+sub per nonzero, one divide per row, plus the dependency
+        stall each row pays."""
+        per_nnz = OP_CYCLES[dtype]["mul"] + OP_CYCLES[dtype]["sub"]
+        return (
+            nnz * per_nnz
+            + rows * (OP_CYCLES[dtype]["div"] + self.triangular_row_overhead)
+        )
+
+    def reduce(self, dtype: str, n_elements: int) -> int:
+        """Cycles for a local tree reduction over ``n_elements``."""
+        return self.vertex_overhead + max(n_elements - 1, 0) * OP_CYCLES[dtype]["add"]
+
+    # -- exchange ------------------------------------------------------------------
+
+    def exchange_bytes(self, nbytes: int) -> int:
+        """Cycles for one tile to stream ``nbytes`` through the on-chip fabric."""
+        return math.ceil(nbytes / self.spec.exchange_bytes_per_cycle)
+
+    def link_bytes(self, nbytes: int) -> int:
+        """Cycles for one chip to move ``nbytes`` across its IPU-Links."""
+        return math.ceil(nbytes / self.spec.link_bytes_per_cycle_per_ipu)
+
+    def sync(self, inter_ipu: bool = False) -> int:
+        """BSP synchronization cost for one superstep boundary."""
+        return self.spec.link_sync_cycles if inter_ipu else self.spec.sync_cycles

@@ -1,0 +1,73 @@
+"""Hierarchical cycle profiler — the analogue of Poplar's profiling feature.
+
+The paper's Table IV buckets solver execution into ILU solve / SpMV / reduce
+/ elementwise / extended-precision ops; the profiler supports exactly that:
+cycles are recorded against a *category* within the currently open step
+stack, and reports aggregate per category or per step path.
+
+BSP semantics note: callers record the cycles of one *superstep* (already
+max-reduced over tiles) — the profiler sums supersteps into program time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    def __init__(self):
+        self._by_category = defaultdict(int)
+        self._by_path = defaultdict(int)
+        self._stack: list[str] = []
+        self.total_cycles = 0
+
+    # -- recording -----------------------------------------------------------------
+
+    @contextmanager
+    def step(self, name: str):
+        """Open a named step; nested records attribute to ``a/b/c`` paths."""
+        self._stack.append(name)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def record(self, category: str, cycles: int) -> None:
+        """Charge ``cycles`` of program time to ``category``."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        self.total_cycles += cycles
+        self._by_category[category] += cycles
+        path = "/".join(self._stack) if self._stack else "<toplevel>"
+        self._by_path[path] += cycles
+
+    def reset(self) -> None:
+        self._by_category.clear()
+        self._by_path.clear()
+        self.total_cycles = 0
+
+    # -- reporting -----------------------------------------------------------------
+
+    def by_category(self) -> dict:
+        return dict(self._by_category)
+
+    def by_path(self) -> dict:
+        return dict(self._by_path)
+
+    def fractions(self) -> dict:
+        """Relative share of each category — Table IV's columns."""
+        total = self.total_cycles or 1
+        return {k: v / total for k, v in self._by_category.items()}
+
+    def category(self, name: str) -> int:
+        return self._by_category.get(name, 0)
+
+    def report(self) -> str:
+        """Human-readable breakdown sorted by share."""
+        lines = [f"total cycles: {self.total_cycles}"]
+        for cat, frac in sorted(self.fractions().items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {cat:<28s} {self._by_category[cat]:>14d}  {frac:6.1%}")
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Architecture specification of the simulated IPU.
+
+All constants are taken from the paper (Sec. II-A, Tables I and III) and
+GraphCore's published Mk2 documentation.  The spec is a plain frozen
+dataclass so experiments can sweep variants (tile counts, link bandwidths)
+without touching the model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["IPUSpec", "MK2"]
+
+
+@dataclass(frozen=True)
+class IPUSpec:
+    """Static parameters of one IPU chip and its interconnect."""
+
+    #: Processor tiles per chip (Mk2: 1,472).
+    tiles_per_ipu: int = 1472
+    #: Independent worker threads per tile; full utilization needs all six.
+    workers_per_tile: int = 6
+    #: Local SRAM per tile in bytes (≈612 kB; 900 MB per chip).
+    sram_per_tile: int = 612 * 1024
+    #: Tile clock in Hz (Mk2 runs at 1.33 GHz).
+    clock_hz: float = 1.33e9
+
+    # -- exchange fabric (on-chip, stateless, all-to-all) -------------------------
+    #: Bytes a tile can push into the fabric per cycle.
+    exchange_bytes_per_cycle: float = 4.0
+    #: Fixed cycles charged per communication *instruction* (one per region in
+    #: the blockwise scheme, one per cell in the naive scheme) on the issuing
+    #: tile.  This is what the Sec. IV reordering minimizes.
+    exchange_instr_cycles: int = 6
+    #: Cycles for the chip-wide BSP synchronization before an exchange.
+    sync_cycles: int = 64
+
+    # -- IPU-Links (inter-chip, stateful, packaged) --------------------------------
+    #: Aggregate bytes per cycle per chip over its IPU-Links (Mk2: ten links
+    #: at 32 GB/s ≈ 320 GB/s ≈ 240 B/cycle at 1.33 GHz).  Links are a shared
+    #: per-chip resource, far below the on-chip all-to-all fabric.
+    link_bytes_per_cycle_per_ipu: float = 240.0
+    #: Extra synchronization cycles when a superstep spans multiple IPUs.
+    link_sync_cycles: int = 256
+
+    # -- scalar pipeline -----------------------------------------------------------
+    #: Cycles per scalar float32 arithmetic operation on one worker thread
+    #: (Table I: 6 cycles for add/mul/div — the 6-deep rotating pipeline).
+    f32_op_cycles: int = 6
+    #: Width of the float32 SIMD unit (most f32 instructions are 2-wide).
+    f32_vector_width: int = 2
+
+    def with_(self, **kwargs) -> "IPUSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def sram_per_ipu(self) -> int:
+        return self.sram_per_tile * self.tiles_per_ipu
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the tile clock."""
+        return cycles / self.clock_hz
+
+
+#: The GraphCore Mk2 chip used throughout the paper.
+MK2 = IPUSpec()

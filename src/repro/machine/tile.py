@@ -1,0 +1,85 @@
+"""A single IPU tile: exclusive SRAM plus six worker threads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.spec import IPUSpec
+
+__all__ = ["Tile", "SRAMOverflowError"]
+
+
+class SRAMOverflowError(MemoryError):
+    """Raised when a tensor shard no longer fits in the tile's local SRAM."""
+
+
+class Tile:
+    """One processor tile.
+
+    ``memory`` maps shard names to NumPy arrays (a double-word shard is a
+    pair of arrays registered under ``name`` and ``name + ".lo"``).  The tile
+    enforces its SRAM capacity — the hard constraint that shapes all
+    partitioning decisions on a real IPU.
+    """
+
+    __slots__ = ("tile_id", "ipu_id", "spec", "memory", "_bytes_used")
+
+    def __init__(self, tile_id: int, ipu_id: int, spec: IPUSpec):
+        self.tile_id = tile_id
+        self.ipu_id = ipu_id
+        self.spec = spec
+        self.memory: dict[str, np.ndarray] = {}
+        self._bytes_used = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    @property
+    def bytes_free(self) -> int:
+        return self.spec.sram_per_tile - self._bytes_used
+
+    def alloc(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Place ``array`` in tile SRAM under ``name``; enforce capacity."""
+        if name in self.memory:
+            raise KeyError(f"tile {self.tile_id}: shard {name!r} already allocated")
+        nbytes = int(array.nbytes)
+        if nbytes > self.bytes_free:
+            raise SRAMOverflowError(
+                f"tile {self.tile_id}: allocating {name!r} ({nbytes} B) exceeds "
+                f"SRAM capacity ({self._bytes_used}/{self.spec.sram_per_tile} B used)"
+            )
+        self.memory[name] = array
+        self._bytes_used += nbytes
+        return array
+
+    def free(self, name: str) -> None:
+        arr = self.memory.pop(name)
+        self._bytes_used -= int(arr.nbytes)
+
+    def get(self, name: str) -> np.ndarray:
+        return self.memory[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.memory
+
+    def run_workers(self, worker_cycles) -> int:
+        """Execute one compute set on this tile's worker threads.
+
+        ``worker_cycles`` is an iterable of per-worker cycle counts (at most
+        ``workers_per_tile`` entries).  BSP semantics: the tile is busy until
+        its slowest worker finishes.
+        """
+        costs = list(worker_cycles)
+        if len(costs) > self.spec.workers_per_tile:
+            raise ValueError(
+                f"{len(costs)} workers requested on a "
+                f"{self.spec.workers_per_tile}-worker tile"
+            )
+        return max(costs, default=0)
+
+    def __repr__(self):
+        return (
+            f"Tile(id={self.tile_id}, ipu={self.ipu_id}, "
+            f"used={self._bytes_used}/{self.spec.sram_per_tile} B)"
+        )

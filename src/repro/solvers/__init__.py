@@ -1,0 +1,43 @@
+"""Solver suite (Sec. V): modular, nestable, JSON-configurable.
+
+Any solver can precondition any other.  Entry points:
+
+- :func:`repro.solvers.solve` — one-call pipeline (matrix → solution),
+- :func:`repro.solvers.build_solver` — construct a solver tree from JSON,
+- the solver classes themselves for programmatic composition.
+"""
+
+from repro.solvers.api import SolveResult, solve
+from repro.solvers.base import Solver, SolveStats
+from repro.solvers.bicgstab import PBiCGStab
+from repro.solvers.cg import ConjugateGradient
+from repro.solvers.config import SOLVERS, build_solver, load_config
+from repro.solvers.gauss_seidel import GaussSeidel
+from repro.solvers.identity import Identity
+from repro.solvers.ilu import DILU, ILU0
+from repro.solvers.jacobi import Jacobi
+from repro.solvers.mpir import MPIR
+from repro.solvers.multigrid import Multigrid
+from repro.solvers.richardson import Richardson
+from repro.solvers.schur import SchurInterface
+
+__all__ = [
+    "solve",
+    "SolveResult",
+    "Solver",
+    "SolveStats",
+    "PBiCGStab",
+    "ConjugateGradient",
+    "GaussSeidel",
+    "ILU0",
+    "DILU",
+    "Jacobi",
+    "Identity",
+    "MPIR",
+    "Multigrid",
+    "Richardson",
+    "SchurInterface",
+    "SOLVERS",
+    "build_solver",
+    "load_config",
+]

@@ -1,0 +1,100 @@
+"""Solver framework (Sec. V).
+
+Every solver implements the same two-phase interface:
+
+- :meth:`Solver.setup` — one-time work appended to the schedule before the
+  solve (e.g. the (D)ILU factorization, level-set analysis),
+- :meth:`Solver.solve_into` — appends the program steps that (approximately)
+  solve ``A x = b`` into ``x``.
+
+The modular design is the paper's key framework feature: *any* solver can
+serve as the preconditioner of another (``preconditioner.solve(p)`` inside
+PBiCGStab is just a nested ``solve_into``), enabling arbitrarily nested
+configurations driven by a JSON file (:mod:`repro.solvers.config`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.distribute import DistVector, DistributedMatrix
+
+__all__ = ["Solver", "SolveStats"]
+
+
+class SolveStats:
+    """Host-side convergence record filled in by runtime callbacks."""
+
+    def __init__(self):
+        #: Relative residual after each recorded iteration.
+        self.residuals: list[float] = []
+        #: Cumulative (inner) iteration count at each record.
+        self.iterations: list[int] = []
+
+    def record(self, iteration: int, relative_residual: float) -> None:
+        self.iterations.append(int(iteration))
+        self.residuals.append(float(relative_residual))
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    @property
+    def total_iterations(self) -> int:
+        return self.iterations[-1] if self.iterations else 0
+
+    def __repr__(self):
+        return (
+            f"SolveStats(iterations={self.total_iterations}, "
+            f"final_residual={self.final_residual:.3e})"
+        )
+
+
+class Solver:
+    """Base class: a (possibly approximate) linear solver for one matrix."""
+
+    name = "base"
+
+    def __init__(self, A: DistributedMatrix, **params):
+        self.A = A
+        self.ctx = A.ctx
+        self.params = params
+        self.stats = SolveStats()
+        self._setup_done = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Append one-time setup steps (idempotent)."""
+        if self._setup_done:
+            return
+        self._setup()
+        self._setup_done = True
+
+    def _setup(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def solve_into(self, x: DistVector, b: DistVector) -> None:
+        """Append steps computing ``x ≈ A⁻¹ b`` (x's content = initial guess)."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------------------
+
+    def workspace(self, tag: str, dtype: str = "float32") -> DistVector:
+        """Allocate a solver-owned distributed temporary."""
+        return self.A.vector(name=self.ctx.graph.unique_name(f"{self.name}.{tag}"), dtype=dtype)
+
+    def record_residual_callback(self, iter_counter, rnorm2_tensor, bnorm2: float):
+        """Host callback factory: log sqrt(rnorm²)/||b|| into ``self.stats``."""
+        stats = self.stats
+        scale = 1.0 / np.sqrt(bnorm2) if bnorm2 > 0 else 1.0
+
+        def cb(engine):
+            r2 = max(engine.read_scalar(rnorm2_tensor.var), 0.0)
+            it = engine.read_scalar(iter_counter.var) if iter_counter is not None else len(stats.residuals)
+            stats.record(int(it), np.sqrt(r2) * scale)
+
+        return cb
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.params})"

@@ -1,0 +1,17 @@
+"""Identity "solver": x := b (the no-preconditioner placeholder)."""
+
+from __future__ import annotations
+
+from repro.solvers.base import Solver
+
+__all__ = ["Identity"]
+
+
+class Identity(Solver):
+    """M = I.  Using it as a preconditioner turns PBiCGStab into plain
+    BiCGStab; it also serves as a copy primitive in nested configs."""
+
+    name = "identity"
+
+    def solve_into(self, x, b) -> None:
+        x.owned.assign(b.owned)

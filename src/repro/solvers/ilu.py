@@ -1,0 +1,204 @@
+"""ILU(0) and DILU preconditioners (Sec. V-E).
+
+Both approximate ``A ≈ LU`` on the original sparsity pattern.  Each tile
+factors its *local block* independently — the decomposition "completely
+disregards halo values" (Sec. VI-D), which is exactly why the preconditioner
+weakens as the tile count grows (visible in the Fig. 8 bench).
+
+- **ILU(0)**: IKJ factorization restricted to the pattern; substitution is a
+  unit-lower forward solve followed by an upper backward solve.
+- **DILU**: only the diagonal is modified
+  (``d_i = a_ii − Σ_{k<i} a_ik d_k⁻¹ a_ki``); substitution uses the original
+  off-diagonals with the modified diagonal: ``M = (D+L) D⁻¹ (D+U)``.
+
+Factorization and substitution are parallelized per tile over the six
+worker threads with Level-Set Scheduling; cycle costs use the IPUTHREADING
+model.  All numerics run in float32, like the IPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.codelet import Codelet, ComputeSet
+from repro.graph.program import Execute as ExecuteStep
+from repro.machine.cycles import OP_CYCLES
+from repro.solvers.base import Solver
+from repro.solvers.sweeps import build_sweep
+
+__all__ = ["ILU0", "DILU"]
+
+
+def _factor_ilu0(n, row_ptr, col_idx, values, diag):
+    """In-place-style block-local ILU(0); returns (values_f, diag_u, flops).
+
+    Lower entries end up holding L (unit diagonal implied), upper entries
+    hold U's off-diagonals, ``diag_u`` holds U's diagonal.
+    """
+    vals = values.astype(np.float32).copy()
+    diag_u = diag.astype(np.float32).copy()
+    # Per-row lookup: local col -> entry position (halo columns excluded).
+    row_map = []
+    for i in range(n):
+        s, e = row_ptr[i], row_ptr[i + 1]
+        row_map.append({int(c): int(s + k) for k, c in enumerate(col_idx[s:e]) if c < n})
+    flops = 0
+    for i in range(n):
+        lower = sorted((c, p) for c, p in row_map[i].items() if c < i)
+        for k, pos_ik in lower:
+            l_ik = np.float32(vals[pos_ik] / diag_u[k])
+            vals[pos_ik] = l_ik
+            flops += 1
+            # Update row i against row k's upper part (cols > k).
+            for j, pos_kj in row_map[k].items():
+                if j <= k:
+                    continue
+                if j == i:
+                    diag_u[i] = np.float32(diag_u[i] - l_ik * vals[pos_kj])
+                    flops += 2
+                elif j in row_map[i]:
+                    p = row_map[i][j]
+                    vals[p] = np.float32(vals[p] - l_ik * vals[pos_kj])
+                    flops += 2
+    return vals, diag_u, flops
+
+
+def _factor_dilu(n, row_ptr, col_idx, values, diag):
+    """Block-local DILU diagonal; returns (d, flops)."""
+    d = diag.astype(np.float32).copy()
+    row_map = []
+    for i in range(n):
+        s, e = row_ptr[i], row_ptr[i + 1]
+        row_map.append({int(c): int(s + k) for k, c in enumerate(col_idx[s:e]) if c < n})
+    flops = 0
+    for i in range(n):
+        for k, pos_ik in row_map[i].items():
+            if k >= i:
+                continue
+            pos_ki = row_map[k].get(i)
+            if pos_ki is not None:
+                d[i] = np.float32(d[i] - values[pos_ik] * values[pos_ki] / d[k])
+                flops += 3
+    return d, flops
+
+
+class _ILUBase(Solver):
+    """Shared machinery: factor at setup, substitution sweeps per solve."""
+
+    def _setup(self) -> None:
+        self._tile_data = {}
+        factor_cycle_costs = {}
+        for t in self.A.tiles:
+            loc = self.A.local[t]
+            data = self._factor_tile(loc)
+            self._tile_data[t] = data
+            factor_cycle_costs[t] = data["factor_flops"] * (
+                OP_CYCLES["float32"]["mul"] + OP_CYCLES["float32"]["add"]
+            ) // 2 + self.ctx.device.model.vertex_overhead
+        # The factorization executes once on-device: numerics were computed
+        # during symbolic execution (they depend only on the static matrix),
+        # the compute set charges the level-scheduled cost.
+        cs = ComputeSet(self.ctx.graph.unique_name("cs_ilu_factor"), category="ilu_factor")
+        for t in self.A.tiles:
+            cs.add_vertex(
+                Codelet(
+                    f"{self.name}_factor@{t}",
+                    run=lambda ctx: None,
+                    cycles=lambda ctx, c=factor_cycle_costs[t]: c,
+                    category="ilu_factor",
+                ),
+                t,
+                {},
+            )
+        self.ctx.append(ExecuteStep(cs))
+
+    def _factor_tile(self, loc) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def solve_into(self, x, b) -> None:
+        self.setup()
+        cs = ComputeSet(self.ctx.graph.unique_name(f"cs_{self.name}_solve"), category="ilu_solve")
+        model = self.ctx.device.model
+        spec = self.ctx.device.spec
+        for t in self.A.tiles:
+            data = self._tile_data[t]
+            loc = self.A.local[t]
+
+            def run(ctx, t=t, data=data, loc=loc):
+                rhs = b.owned.var.shard(t).data
+                out = x.owned.var.shard(t).data
+                self._substitute(data, loc, rhs, out)
+
+            def cycles(ctx, data=data):
+                return data["fwd"].cycles(model, spec) + data["bwd"].cycles(model, spec)
+
+            cs.add_vertex(Codelet(f"{self.name}@{t}", run, cycles, category="ilu_solve"), t, {})
+        self.ctx.append(ExecuteStep(cs))
+
+    def _substitute(self, data, loc, rhs, out):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ILU0(_ILUBase):
+    name = "ilu0"
+
+    def _factor_tile(self, loc) -> dict:
+        n = loc["n"]
+        vals, diag_u, flops = _factor_ilu0(
+            n, loc["row_ptr"], loc["col_idx"], loc["values"], loc["diag"]
+        )
+        local_only = lambda rows, cols: cols < n
+        fwd = build_sweep(
+            n, loc["row_ptr"], loc["col_idx"], vals,
+            include=lambda rows, cols: (cols < rows) & local_only(rows, cols),
+        )
+        bwd = build_sweep(
+            n, loc["row_ptr"], loc["col_idx"], vals,
+            include=lambda rows, cols: (cols > rows) & local_only(rows, cols),
+            backward=True,
+        )
+        return {"fwd": fwd, "bwd": bwd, "diag_u": diag_u, "factor_flops": flops}
+
+    def _substitute(self, data, loc, rhs, out):
+        n = loc["n"]
+        work = np.zeros(n, dtype=np.float32)
+        # Forward: L y = rhs (unit diagonal).
+        work[...] = 0.0
+        data["fwd"].run(work, rhs, diag=None)
+        # Backward: U x = y.
+        y = work.copy()
+        data["bwd"].run(work, y, diag=data["diag_u"])
+        out[...] = work
+
+
+class DILU(_ILUBase):
+    name = "dilu"
+
+    def _factor_tile(self, loc) -> dict:
+        n = loc["n"]
+        d, flops = _factor_dilu(
+            n, loc["row_ptr"], loc["col_idx"], loc["values"], loc["diag"]
+        )
+        local_only = lambda rows, cols: cols < n
+        fwd = build_sweep(
+            n, loc["row_ptr"], loc["col_idx"], loc["values"],
+            include=lambda rows, cols: (cols < rows) & local_only(rows, cols),
+        )
+        bwd = build_sweep(
+            n, loc["row_ptr"], loc["col_idx"], loc["values"],
+            include=lambda rows, cols: (cols > rows) & local_only(rows, cols),
+            backward=True,
+        )
+        return {"fwd": fwd, "bwd": bwd, "d": d, "factor_flops": flops}
+
+    def _substitute(self, data, loc, rhs, out):
+        n = loc["n"]
+        d = data["d"]
+        # (D+L) w = rhs.
+        w = np.zeros(n, dtype=np.float32)
+        data["fwd"].run(w, rhs, diag=d)
+        # (D+U) x = D w.
+        z = (d * w).astype(np.float32)
+        x = np.zeros(n, dtype=np.float32)
+        data["bwd"].run(x, z, diag=d)
+        out[...] = x

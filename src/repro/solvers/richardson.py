@@ -1,0 +1,46 @@
+"""(Preconditioned) Richardson iteration.
+
+The simplest possible iterative scheme: ``x ← x + ω M⁻¹ (b − A x)``.
+With ``M = I`` it is plain Richardson; with any framework solver as ``M``
+it is the classic stationary outer iteration — useful as a cheap smoother
+and as the minimal example of the framework's solver-nesting machinery.
+"""
+
+from __future__ import annotations
+
+from repro.solvers.base import Solver
+from repro.solvers.identity import Identity
+
+__all__ = ["Richardson"]
+
+
+class Richardson(Solver):
+    name = "richardson"
+
+    def __init__(self, A, sweeps: int = 10, omega: float = 1.0,
+                 preconditioner: Solver | None = None, **params):
+        super().__init__(A, sweeps=sweeps, omega=omega, **params)
+        self.sweeps = sweeps
+        self.omega = omega
+        self.preconditioner = preconditioner or Identity(A)
+
+    def _setup(self) -> None:
+        self.preconditioner.setup()
+
+    def solve_into(self, x, b) -> None:
+        self.setup()
+        ax = self.workspace("ax")
+        r = self.workspace("r")
+        z = self.workspace("z")
+
+        def sweep():
+            self.A.spmv(x, ax)
+            r.owned.assign(b.t - ax.t)
+            z.owned.assign(0.0)
+            self.preconditioner.solve_into(z, r)
+            x.owned.assign(x.t + z.t * self.omega)
+
+        if self.sweeps == 1:
+            sweep()
+        else:
+            self.ctx.Repeat(self.sweeps, sweep)

@@ -1,0 +1,34 @@
+"""Sparse-matrix substrate: formats, workloads, partitioning, halo regions.
+
+- :mod:`repro.sparse.crs` — the modified CRS format with a separate dense
+  diagonal (Sec. II-C),
+- :mod:`repro.sparse.poisson` — 7-point (3-D) and 5-point (2-D) Poisson
+  discretizations used by the scaling benches,
+- :mod:`repro.sparse.suitesparse` — synthetic structural doubles of the
+  paper's four SuiteSparse matrices plus a Matrix-Market reader,
+- :mod:`repro.sparse.partition` — row-wise domain decomposition across
+  tiles (structured-grid blocks and graph-growing for general matrices),
+- :mod:`repro.sparse.halo` — the region-based reordering strategy of
+  Sec. IV enabling blockwise halo exchanges (plus the naive per-cell
+  baseline used in the ablation),
+- :mod:`repro.sparse.levelset` — Level-Set Scheduling (Sec. V-A).
+"""
+
+from repro.sparse.crs import ModifiedCRS
+from repro.sparse.poisson import poisson2d, poisson3d
+from repro.sparse.partition import Partition, partition_rows
+from repro.sparse.halo import HaloPlan, build_halo_plan, build_naive_plan
+from repro.sparse.levelset import LevelSchedule, level_schedule
+
+__all__ = [
+    "ModifiedCRS",
+    "poisson2d",
+    "poisson3d",
+    "Partition",
+    "partition_rows",
+    "HaloPlan",
+    "build_halo_plan",
+    "build_naive_plan",
+    "LevelSchedule",
+    "level_schedule",
+]

@@ -1,0 +1,124 @@
+"""Modified Compressed Row Storage (Sec. II-C).
+
+Diagonal entries are stored in a separate dense array rather than inside
+the CRS structure.  This saves their column indices and gives solvers like
+Gauss-Seidel and (D)ILU direct access to each row's pivot.  The CRS arrays
+hold only the off-diagonal entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["ModifiedCRS"]
+
+
+class ModifiedCRS:
+    """A square sparse matrix in modified CRS format.
+
+    Attributes
+    ----------
+    diag : float array of shape (n,)
+        Dense diagonal (must be structurally nonzero).
+    values, col_idx : arrays of length nnz_offdiag
+        Off-diagonal entries, row-major.
+    row_ptr : int array of shape (n+1,)
+        Row starts into ``values``/``col_idx``.
+    """
+
+    def __init__(self, diag, values, col_idx, row_ptr, dtype=np.float64):
+        self.diag = np.asarray(diag, dtype=dtype)
+        self.values = np.asarray(values, dtype=dtype)
+        self.col_idx = np.asarray(col_idx, dtype=np.int64)
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        n = self.diag.size
+        if self.row_ptr.size != n + 1:
+            raise ValueError("row_ptr must have n+1 entries")
+        if self.row_ptr[-1] != self.values.size or self.values.size != self.col_idx.size:
+            raise ValueError("inconsistent CRS arrays")
+        if np.any(self.diag == 0):
+            raise ValueError(
+                "modified CRS requires nonzero diagonal entries "
+                "(apply a row permutation first)"
+            )
+
+    # -- properties ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.diag.size
+
+    @property
+    def shape(self):
+        return (self.n, self.n)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored entries including the dense diagonal."""
+        return self.values.size + self.n
+
+    @property
+    def nnz_offdiag(self) -> int:
+        return self.values.size
+
+    def row(self, i: int):
+        """Off-diagonal (cols, vals) of row ``i``."""
+        s, e = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.col_idx[s:e], self.values[s:e]
+
+    # -- conversions -------------------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, mat, dtype=np.float64) -> "ModifiedCRS":
+        """Build from any SciPy sparse matrix (square, nonzero diagonal)."""
+        csr = sp.csr_matrix(mat)
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError("matrix must be square")
+        csr.sum_duplicates()
+        csr.sort_indices()
+        n = csr.shape[0]
+        diag = csr.diagonal()
+        # Strip the diagonal out of the CRS structure.
+        offdiag = csr - sp.diags(diag, format="csr")
+        offdiag.eliminate_zeros()
+        offdiag.sort_indices()
+        return cls(diag, offdiag.data, offdiag.indices, offdiag.indptr, dtype=dtype)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        off = sp.csr_matrix(
+            (self.values, self.col_idx, self.row_ptr), shape=self.shape
+        )
+        return (off + sp.diags(self.diag)).tocsr()
+
+    # -- operations --------------------------------------------------------------------------
+
+    def spmv(self, x) -> np.ndarray:
+        """Reference (host-side) SpMV: ``y = A x``.  Used by tests/baselines."""
+        x = np.asarray(x)
+        y = self.diag * x
+        contrib = self.values * x[self.col_idx]
+        np.add.at(y, np.repeat(np.arange(self.n), np.diff(self.row_ptr)), contrib)
+        return y
+
+    def permute(self, perm) -> "ModifiedCRS":
+        """Symmetric permutation ``PAPᵀ``: row i of the result is row perm[i]
+        of the original, with columns relabeled accordingly."""
+        perm = np.asarray(perm)
+        if perm.size != self.n or set(perm.tolist()) != set(range(self.n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        csr = self.to_scipy()
+        p = sp.csr_matrix(
+            (np.ones(self.n), (np.arange(self.n), perm)), shape=self.shape
+        )
+        return ModifiedCRS.from_scipy(p @ csr @ p.T, dtype=self.values.dtype if self.values.size else np.float64)
+
+    def rows_nnz(self) -> np.ndarray:
+        """Off-diagonal entries per row."""
+        return np.diff(self.row_ptr)
+
+    def astype(self, dtype) -> "ModifiedCRS":
+        return ModifiedCRS(self.diag, self.values, self.col_idx, self.row_ptr, dtype=dtype)
+
+    def __repr__(self):
+        return f"ModifiedCRS(n={self.n}, nnz={self.nnz})"

@@ -1,0 +1,302 @@
+"""Distributed matrices and vectors on the (simulated) IPU.
+
+``DistributedMatrix`` decomposes a :class:`ModifiedCRS` row-wise across the
+device's tiles (Sec. II-B), reorders each tile's cells per the Sec. IV halo
+strategy, and stores the local modified-CRS blocks in tile SRAM.  Vectors
+(``DistVector``) carry an *owned* tensor (the authoritative values, in the
+reordered layout) plus a *halo* tensor (cached neighbor values refreshed by
+blockwise exchanges).
+
+SpMV numerics:
+
+- working precision (float32): true float32 products; row sums are short
+  (one rounding vs. per-term rounding differs below the f32 noise floor),
+- extended precision (for the MPIR residual): products/accumulation are
+  evaluated in binary64 and the result is stored in the target
+  representation (double-word split or float64).  The *stored* precision of
+  operands and results — which is what bounds MPIR's attainable residual —
+  is exactly that of the paper's double-word/soft-float pipelines, while
+  the cycle model charges the Table I costs of those pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import Exchange, Interval
+from repro.graph.codelet import Codelet, ComputeSet
+from repro.graph.program import Execute as ExecuteStep
+from repro.sparse.crs import ModifiedCRS
+from repro.sparse.halo import HaloPlan, build_halo_plan, build_naive_plan
+from repro.sparse.partition import Partition, partition_rows
+from repro.tensordsl import Tensor, Type
+
+__all__ = ["DistVector", "DistributedMatrix", "segment_sums"]
+
+
+def segment_sums(contrib: np.ndarray, row_ptr: np.ndarray, n: int) -> np.ndarray:
+    """Per-row sums of CRS-ordered contributions (empty rows -> 0)."""
+    if contrib.size == 0:
+        return np.zeros(n, dtype=contrib.dtype)
+    starts = row_ptr[:-1]
+    padded = np.concatenate([contrib, np.zeros(1, dtype=contrib.dtype)])
+    sums = np.add.reduceat(padded, np.minimum(starts, contrib.size))
+    empty = row_ptr[1:] == starts
+    sums[empty] = 0
+    return sums
+
+
+class DistVector:
+    """A vector distributed in the halo-reordered layout.
+
+    ``owned`` holds each tile's authoritative cells; ``halo`` holds cached
+    copies of neighbor cells, refreshed by :meth:`DistributedMatrix.exchange`.
+    TensorDSL algebra applies to ``owned`` (all owned tensors of one matrix
+    share the same mapping, so they combine freely).
+    """
+
+    def __init__(self, matrix: "DistributedMatrix", owned: Tensor, halo: Tensor):
+        self.matrix = matrix
+        self.owned = owned
+        self.halo = halo
+
+    @property
+    def t(self) -> Tensor:
+        """The owned tensor — use this in TensorDSL expressions."""
+        return self.owned
+
+    @property
+    def dtype(self) -> str:
+        return self.owned.dtype
+
+    def write_global(self, values) -> None:
+        """Host-write values given in the ORIGINAL row order."""
+        values = np.asarray(values)
+        self.owned.write(values[self.matrix.perm])
+
+    def read_global(self) -> np.ndarray:
+        """Host-read values in the ORIGINAL row order."""
+        reordered = self.owned.value()
+        out = np.empty_like(reordered)
+        out[self.matrix.perm] = reordered
+        return out
+
+    def __repr__(self):
+        return f"DistVector(n={self.matrix.n}, dtype={self.dtype})"
+
+
+class DistributedMatrix:
+    """A modified-CRS matrix decomposed across tiles with halo regions."""
+
+    def __init__(
+        self,
+        ctx,
+        crs: ModifiedCRS,
+        num_tiles: int | None = None,
+        grid_dims=None,
+        partition: Partition | None = None,
+        plan: HaloPlan | None = None,
+        blockwise: bool = True,
+        name: str = "A",
+    ):
+        self.ctx = ctx
+        self.crs = crs
+        self.name = name
+        device = ctx.device
+        if partition is None:
+            parts = min(num_tiles or device.num_tiles, crs.n, device.num_tiles)
+            partition = partition_rows(crs, parts, grid_dims=grid_dims)
+        self.partition = partition
+        if plan is None:
+            builder = build_halo_plan if blockwise else build_naive_plan
+            plan = builder(crs, partition)
+        self.plan = plan
+        self.tiles = plan.tiles()
+        #: perm[new_index] = old_index (the Sec. IV reordering).
+        self.perm = plan.global_permutation()
+        self._build_local_blocks()
+
+    # -- construction -----------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.crs.n
+
+    def _build_local_blocks(self) -> None:
+        """Extract and allocate each tile's local modified-CRS block."""
+        crs = self.crs
+        self.local: dict[int, dict] = {}
+        device = self.ctx.device
+        for t in self.tiles:
+            rows = self.plan.owned_order[t]
+            lmap = self.plan.local_index_map(t)
+            n_loc = rows.size
+            diag = crs.diag[rows].astype(np.float32)
+            ptr = [0]
+            cols_loc, vals = [], []
+            for g in rows:
+                cg, vg = crs.row(int(g))
+                cols_loc.extend(lmap[int(c)] for c in cg)
+                vals.extend(vg)
+                ptr.append(len(cols_loc))
+            vals64 = np.asarray(vals, dtype=np.float64)
+            diag64 = crs.diag[rows].astype(np.float64)
+            local = {
+                "rows_global": rows,
+                "n": n_loc,
+                "diag": diag64.astype(np.float32),
+                "values": vals64.astype(np.float32),
+                "col_idx": np.asarray(cols_loc, dtype=np.int32),
+                "row_ptr": np.asarray(ptr, dtype=np.int32),
+            }
+            # Double-word copy of the coefficients for the extended-precision
+            # residual SpMV of MPIR (standard mixed-precision IR practice:
+            # the residual must see A beyond working precision, else the f32
+            # rounding of A bounds the attainable accuracy).
+            local["values_lo"] = (vals64 - local["values"].astype(np.float64)).astype(np.float32)
+            local["diag_lo"] = (diag64 - local["diag"].astype(np.float64)).astype(np.float32)
+            local["values_ext"] = local["values"].astype(np.float64) + local["values_lo"].astype(np.float64)
+            local["diag_ext"] = local["diag"].astype(np.float64) + local["diag_lo"].astype(np.float64)
+            tile = device.tile(t)
+            for key in ("diag", "values", "col_idx", "row_ptr", "values_lo", "diag_lo"):
+                tile.alloc(f"{self.name}.{key}@{t}", local[key])
+            local["row_of_entry"] = np.repeat(
+                np.arange(n_loc, dtype=np.int32), np.diff(local["row_ptr"])
+            )
+            self.local[t] = local
+
+    # -- vectors -------------------------------------------------------------------------
+
+    def _owned_mapping(self):
+        offset = 0
+        mapping = []
+        for t in self.tiles:
+            c = self.plan.owned_count(t)
+            mapping.append(Interval(t, offset, offset + c))
+            offset += c
+        return mapping
+
+    def _halo_mapping(self):
+        offset = 0
+        mapping = []
+        for t in self.tiles:
+            c = self.plan.halo_count(t)
+            if c:
+                mapping.append(Interval(t, offset, offset + c))
+                offset += c
+        return mapping, offset
+
+    def vector(self, name: str | None = None, dtype: str = Type.FLOAT32, data=None) -> DistVector:
+        """Create a distributed vector compatible with this matrix."""
+        name = name or self.ctx.graph.unique_name("v")
+        owned = self.ctx.from_mapping(name, (self.n,), dtype, self._owned_mapping())
+        halo_map, halo_total = self._halo_mapping()
+        if halo_total:
+            halo = self.ctx.from_mapping(name + ".halo", (halo_total,), dtype, halo_map)
+        else:
+            halo = self.ctx.tensor((), dtype=dtype, name=name + ".halo", tile_ids=self.tiles)
+        vec = DistVector(self, owned, halo)
+        if data is not None:
+            vec.write_global(data)
+        return vec
+
+    # -- program steps ----------------------------------------------------------------------
+
+    def exchange(self, vec: DistVector) -> None:
+        """Append a blockwise halo exchange refreshing ``vec``'s halo buffer."""
+        copies = self.plan.copies(vec.owned.var, vec.halo.var)
+        if copies:
+            self.ctx.append(Exchange(copies, name="exchange"))
+
+    def _worker_row_chunks(self, t: int, workers: int):
+        """Contiguous row ranges per worker, balanced by nonzero count."""
+        local = self.local[t]
+        nnz_prefix = local["row_ptr"]
+        n = local["n"]
+        total = int(nnz_prefix[-1]) + n  # off-diag + diagonal work
+        chunks = []
+        start = 0
+        for w in range(workers):
+            target = (w + 1) * total / workers
+            # Smallest end such that work(0..end) >= target.
+            end = int(np.searchsorted(nnz_prefix[1:] + np.arange(1, n + 1), target, side="left")) + 1
+            end = min(max(end, start), n)
+            if w == workers - 1:
+                end = n
+            if end > start:
+                chunks.append((start, end))
+            start = end
+        return chunks
+
+    def spmv(self, x: DistVector, y: DistVector, accumulate_category: str | None = None) -> None:
+        """Append ``y = A x`` (halo exchange + per-tile SpMV compute set).
+
+        Working precision when both vectors are float32; extended precision
+        (binary64 evaluation, result stored in ``y.dtype``) otherwise.
+        """
+        self.exchange(x)
+        extended = x.dtype != Type.FLOAT32 or y.dtype != Type.FLOAT32
+        cost_dtype = x.dtype if x.dtype != Type.FLOAT32 else y.dtype
+        # SpMVs bucket as "spmv" regardless of precision (Table IV's taxonomy:
+        # "Extended-Precision Ops" covers the MPIR vector ops, while the
+        # residual SpMV counts as SpMV); the *cost* still uses the extended
+        # per-op cycle counts.
+        category = accumulate_category or "spmv"
+        model = self.ctx.device.model
+        workers = self.ctx.device.spec.workers_per_tile
+        cs = ComputeSet(self.ctx.graph.unique_name("cs_spmv"), category=category)
+        for t in self.tiles:
+            local = self.local[t]
+            chunks = self._worker_row_chunks(t, workers)
+
+            def run(ctx, t=t, local=local):
+                self._spmv_tile(t, local, x, y)
+
+            def cycles(ctx, t=t, local=local, chunks=chunks):
+                ptr = local["row_ptr"]
+                return [
+                    model.spmv_rows(cost_dtype, int(ptr[e] - ptr[s]), e - s)
+                    for s, e in chunks
+                ] or [model.vertex_overhead]
+
+            cs.add_vertex(Codelet(f"spmv@{t}", run, cycles, category=category), t, {})
+        self.ctx.append(ExecuteStep(cs))
+
+    def _spmv_tile(self, t: int, local: dict, x: DistVector, y: DistVector) -> None:
+        n_loc = local["n"]
+        xo_sh = x.owned.var.shard(t)
+        yo_sh = y.owned.var.shard(t)
+        halo_sh = x.halo.var.shard(t) if self.plan.halo_count(t) else None
+
+        if x.dtype == Type.FLOAT32 and y.dtype == Type.FLOAT32:
+            xfull = (
+                np.concatenate([xo_sh.data, halo_sh.data])
+                if halo_sh is not None
+                else xo_sh.data
+            )
+            contrib = local["values"] * xfull[local["col_idx"]]
+            sums = segment_sums(contrib, local["row_ptr"], n_loc)
+            yo_sh.data[...] = local["diag"] * xo_sh.data + sums
+            return
+
+        # Extended precision: binary64 evaluation, stored per y.dtype.
+        def wide(shard, dtype):
+            if dtype == Type.DOUBLEWORD:
+                return shard.data.astype(np.float64) + shard.lo.astype(np.float64)
+            return shard.data.astype(np.float64)
+
+        xo = wide(xo_sh, x.dtype)
+        xfull = (
+            np.concatenate([xo, wide(halo_sh, x.dtype)]) if halo_sh is not None else xo
+        )
+        contrib = local["values_ext"] * xfull[local["col_idx"]]
+        sums = np.bincount(local["row_of_entry"], weights=contrib, minlength=n_loc)
+        result = local["diag_ext"] * xo + sums
+        if y.dtype == Type.DOUBLEWORD:
+            hi = result.astype(np.float32)
+            yo_sh.data[...] = hi
+            yo_sh.lo[...] = (result - hi.astype(np.float64)).astype(np.float32)
+        elif y.dtype == Type.FLOAT64:
+            yo_sh.data[...] = result
+        else:
+            yo_sh.data[...] = result.astype(np.float32)

@@ -1,0 +1,77 @@
+"""Level-Set Scheduling (Sec. V-A).
+
+Analyzes the data dependencies in the lower triangular part of a (local)
+matrix: row *i* depends on row *j < i* iff ``a_ij != 0``.  Clustering the
+dependency DAG into levels lets all rows within one level be processed in
+parallel by the tile's six worker threads, while preserving the sequential
+algorithm's result (and hence its convergence rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LevelSchedule", "level_schedule"]
+
+
+@dataclass
+class LevelSchedule:
+    """Rows grouped into dependency levels (local indices)."""
+
+    levels: list  # list of np.ndarray of row indices
+    n: int
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((lv.size for lv in self.levels), default=0)
+
+    @property
+    def avg_parallelism(self) -> float:
+        return self.n / self.num_levels if self.num_levels else 0.0
+
+    def worker_partition(self, level: int, workers: int) -> list:
+        """Split one level's rows into up to ``workers`` chunks."""
+        rows = self.levels[level]
+        if rows.size == 0:
+            return []
+        return np.array_split(rows, min(workers, rows.size))
+
+    def validate(self, row_ptr, col_idx) -> bool:
+        """Check the defining invariant: every lower-triangular dependency
+        points to a strictly earlier level."""
+        level_of = np.empty(self.n, dtype=np.int64)
+        for k, rows in enumerate(self.levels):
+            level_of[rows] = k
+        for i in range(self.n):
+            for j in col_idx[row_ptr[i] : row_ptr[i + 1]]:
+                if j < i and level_of[j] >= level_of[i]:
+                    return False
+        return True
+
+
+def level_schedule(row_ptr, col_idx, n: int) -> LevelSchedule:
+    """Compute levels for ``n`` rows with off-diagonal pattern (CRS arrays).
+
+    Only lower-triangular entries (``col < row``) induce dependencies —
+    exactly the updated-solution-value dependencies of Gauss-Seidel /
+    ILU substitution.  Runs in O(nnz).
+    """
+    row_ptr = np.asarray(row_ptr)
+    col_idx = np.asarray(col_idx)
+    level_of = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        cols = col_idx[row_ptr[i] : row_ptr[i + 1]]
+        lower = cols[cols < i]
+        if lower.size:
+            level_of[i] = level_of[lower].max() + 1
+    num_levels = int(level_of.max()) + 1 if n else 0
+    order = np.argsort(level_of, kind="stable")
+    boundaries = np.searchsorted(level_of[order], np.arange(num_levels + 1))
+    levels = [order[boundaries[k] : boundaries[k + 1]] for k in range(num_levels)]
+    return LevelSchedule(levels=levels, n=n)

@@ -1,0 +1,52 @@
+"""Poisson-equation workload generators (Sec. VI-A).
+
+The scaling benches use matrices from discretizing the Poisson equation on a
+regular cubic 3-D grid with a 7-point stencil; a 5-point 2-D variant is
+provided for small examples.  Both return :class:`ModifiedCRS` plus the grid
+dimensions (which the structured partitioner needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.crs import ModifiedCRS
+
+__all__ = ["poisson3d", "poisson2d", "poisson_rhs"]
+
+
+def _lap1d(n: int) -> sp.csr_matrix:
+    return sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None):
+    """7-point Poisson matrix on an ``nx × ny × nz`` grid.
+
+    Returns ``(ModifiedCRS, (nx, ny, nz))``.  Row index = x + nx*(y + ny*z).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    ix, iy, iz = sp.identity(nx), sp.identity(ny), sp.identity(nz)
+    a = (
+        sp.kron(iz, sp.kron(iy, _lap1d(nx)))
+        + sp.kron(iz, sp.kron(_lap1d(ny), ix))
+        + sp.kron(sp.kron(_lap1d(nz), iy), ix)
+    )
+    return ModifiedCRS.from_scipy(a), (nx, ny, nz)
+
+
+def poisson2d(nx: int, ny: int | None = None):
+    """5-point Poisson matrix on an ``nx × ny`` grid.
+
+    Returns ``(ModifiedCRS, (nx, ny))``.  Row index = x + nx*y.
+    """
+    ny = nx if ny is None else ny
+    a = sp.kron(sp.identity(ny), _lap1d(nx)) + sp.kron(_lap1d(ny), sp.identity(nx))
+    return ModifiedCRS.from_scipy(a), (nx, ny)
+
+
+def poisson_rhs(n: int, seed: int = 0) -> np.ndarray:
+    """A reproducible smooth-ish right-hand side for solver experiments."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)

@@ -1,0 +1,117 @@
+"""Sliced ELLPACK (SELL-C-σ) — the format the paper leaves as future work.
+
+Sec. II-C argues that ELLPACK/SELL's benefits (vectorizable, cache-friendly
+column-major chunks) largely evaporate on the IPU: the 2-wide float32 SIMD
+cannot pair the *gathered* ``x[col]`` operands anyway, and the cacheless
+SRAM makes the contiguous layout irrelevant — so the expected gain reduces
+to amortized per-row overhead, paid for with padding.  This module
+implements the format so that prediction can be tested (ablation bench
+``bench_ablation_sell.py``).
+
+Layout: rows are sorted by descending length within windows of ``sigma``
+rows, grouped into chunks of ``chunk`` rows, and each chunk is padded to
+its longest row and stored column-major.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cycles import CycleModel, OP_CYCLES
+from repro.sparse.crs import ModifiedCRS
+
+__all__ = ["SellBlock", "sell_spmv_cycles", "crs_spmv_cycles"]
+
+
+@dataclass
+class SellBlock:
+    """A square block in SELL-C-σ with the diagonal kept dense (the same
+    modified layout as our CRS: Sec. II-C)."""
+
+    n: int
+    chunk: int
+    diag: np.ndarray
+    #: Per chunk: (rows, padded_cols, padded_vals) with column-major padding;
+    #: padded arrays have shape (width, chunk) — entry [k, i] is the k-th
+    #: coefficient of the chunk's i-th row (or padding: col == row, val == 0).
+    chunks: list
+    perm: np.ndarray  # permutation applied by the length sort (new -> old)
+
+    @property
+    def padded_nnz(self) -> int:
+        return sum(c[2].size for c in self.chunks)
+
+    @property
+    def nnz(self) -> int:
+        return int(sum((c[2] != 0).sum() for c in self.chunks))
+
+    @property
+    def padding_ratio(self) -> float:
+        stored = self.padded_nnz
+        return stored / max(self.nnz, 1)
+
+    @classmethod
+    def from_crs(cls, crs: ModifiedCRS, chunk: int = 4, sigma: int | None = None) -> "SellBlock":
+        n = crs.n
+        sigma = n if sigma is None else sigma
+        lengths = crs.rows_nnz()
+        order = np.arange(n)
+        for start in range(0, n, sigma):
+            window = order[start : start + sigma]
+            order[start : start + sigma] = window[np.argsort(-lengths[window], kind="stable")]
+        chunks = []
+        for start in range(0, n, chunk):
+            rows = order[start : start + chunk]
+            width = int(lengths[rows].max()) if rows.size else 0
+            cols = np.tile(rows, (width, 1)).astype(np.int64)  # pad: col = row
+            vals = np.zeros((width, rows.size))
+            for i, r in enumerate(rows):
+                c, v = crs.row(int(r))
+                cols[: c.size, i] = c
+                vals[: v.size, i] = v
+            chunks.append((rows.copy(), cols, vals))
+        return cls(n=n, chunk=chunk, diag=crs.diag.copy(), chunks=chunks, perm=order)
+
+    def spmv(self, x) -> np.ndarray:
+        """Reference SpMV in the SELL layout (must equal the CRS result)."""
+        x = np.asarray(x)
+        y = self.diag * x
+        for rows, cols, vals in self.chunks:
+            if vals.size:
+                y[rows] += (vals * x[cols]).sum(axis=0)
+        return y
+
+
+def sell_spmv_cycles(model: CycleModel, block: SellBlock, workers: int = 6) -> int:
+    """Modeled cycles of a SELL SpMV on one tile (max over workers).
+
+    Per padded coefficient: one mul + one add at scalar rate (the gathered
+    ``x[col]`` defeats SIMD pairing, same as CRS); per chunk a small fixed
+    overhead replaces CRS's per-row branch — the format's entire upside.
+    """
+    per_nnz = OP_CYCLES["float32"]["mul"] + OP_CYCLES["float32"]["add"]
+    chunk_overhead = 4
+    splits = np.array_split(np.arange(len(block.chunks)), workers)
+    worst = 0
+    for s in splits:
+        padded = sum(block.chunks[i][2].size for i in s)
+        rows = sum(block.chunks[i][0].size for i in s)
+        cost = (
+            model.vertex_overhead
+            + padded * per_nnz
+            + len(s) * chunk_overhead
+            + rows * OP_CYCLES["float32"]["mul"]  # dense diagonal
+        )
+        worst = max(worst, cost)
+    return worst
+
+
+def crs_spmv_cycles(model: CycleModel, crs: ModifiedCRS, workers: int = 6) -> int:
+    """Modeled cycles of the modified-CRS SpMV on one tile (max over workers)."""
+    rows = np.array_split(np.arange(crs.n), workers)
+    lengths = crs.rows_nnz()
+    return max(
+        model.spmv_rows("float32", int(lengths[s].sum()), s.size) for s in rows if s.size
+    )

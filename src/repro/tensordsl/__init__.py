@@ -1,0 +1,27 @@
+"""TensorDSL: the global-tensor language (Sec. III).
+
+TensorDSL operates on tensors mapped across one or many tiles, providing a
+global view regardless of distribution.  It supports elementwise algebra,
+reductions, broadcasting, and copies — but not element access (that is
+CodeDSL's job).
+
+Key mechanics reproduced from the paper:
+
+- **Symbolic execution** — user code runs once on the host; tensor
+  operators build *expression objects* (Sec. III-C) instead of computing.
+- **Delayed materialization** — an expression becomes codelets only when
+  its value is needed; the whole tree fuses into one generated codelet per
+  tile, which shrinks the dataflow graph and lets the host compiler
+  optimize across operations.
+- **Control-flow stack** (Sec. III-B) — ``If``/``While``/``Repeat`` push a
+  program step, symbolically execute the branch lambdas, and pop, so the
+  schedule is generated automatically.
+- **Extended precision** — tensors carry ``float32``, ``dw`` (double-word)
+  or ``float64`` (emulated) dtypes; mixed expressions promote upward.
+"""
+
+from repro.tensordsl.types import Type
+from repro.tensordsl.context import TensorContext
+from repro.tensordsl.tensor import Tensor
+
+__all__ = ["Type", "TensorContext", "Tensor"]

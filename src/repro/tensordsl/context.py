@@ -1,0 +1,306 @@
+"""TensorContext: symbolic-execution driver and control-flow stack.
+
+Owns the graph, the schedule being generated, and the control-flow stack of
+Sec. III-B: control functions (:meth:`TensorContext.If`,
+:meth:`TensorContext.While`, :meth:`TensorContext.Repeat`) push a program
+step, symbolically execute the branch lambda, and pop — the top of the
+stack is always the step under construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codedsl import estimate_flops
+from repro.codedsl.builder import CodeletIR
+from repro.graph import (
+    ComputeSet,
+    Codelet,
+    Engine,
+    Exchange,
+    Execute as ExecuteStep,
+    Graph,
+    HostCallback,
+    If as IfStep,
+    Interval,
+    RegionCopy,
+    Repeat as RepeatStep,
+    RepeatWhile,
+    Sequence,
+)
+from repro.machine import IPUDevice
+from repro.tensordsl.expression import Expr
+from repro.tensordsl.materialize import (
+    category_for,
+    combine_codelet,
+    elementwise_codelet,
+    partial_reduce_codelet,
+)
+from repro.tensordsl.tensor import Tensor
+from repro.tensordsl.types import Type
+
+__all__ = ["TensorContext"]
+
+
+class TensorContext:
+    """Builds a graph program by symbolically executing TensorDSL code."""
+
+    def __init__(self, device: IPUDevice, eager: bool = False):
+        self.device = device
+        self.graph = Graph(device)
+        self.root = Sequence()
+        #: The control-flow stack (Sec. III-B): innermost open step last.
+        self._stack: list[Sequence] = [self.root]
+        #: Eager mode materializes every operator immediately — the
+        #: no-delayed-materialization ablation baseline.
+        self.eager = eager
+
+    # -- schedule construction ------------------------------------------------------
+
+    @property
+    def current_seq(self) -> Sequence:
+        return self._stack[-1]
+
+    def append(self, step):
+        return self.current_seq.add(step)
+
+    # -- tensor creation ---------------------------------------------------------------
+
+    def tensor(self, shape, dtype: str = Type.FLOAT32, name: str | None = None,
+               data=None, tile_ids=None) -> Tensor:
+        """Create a materialized tensor distributed linearly over tiles."""
+        shape = tuple(shape) if not isinstance(shape, int) else (shape,)
+        name = name or self.graph.unique_name("t")
+        size = int(np.prod(shape)) if shape else 1
+        if size == 1:
+            var = self.graph.add_replicated(name, shape, dtype, tile_ids=tile_ids)
+        else:
+            mapping = self.graph.linear_mapping(size, tile_ids=tile_ids)
+            var = self.graph.add_variable(name, shape, dtype, mapping=mapping)
+        if data is not None:
+            var.scatter(data)
+        return Tensor(self, var=var)
+
+    def scalar(self, value=0.0, dtype: str = Type.FLOAT32, name: str | None = None,
+               tile_ids=None) -> Tensor:
+        """Create a replicated scalar tensor initialized to ``value``."""
+        t = self.tensor((), dtype=dtype, name=name, tile_ids=tile_ids)
+        t.write(value)
+        return t
+
+    def from_mapping(self, name: str, shape, dtype: str, mapping) -> Tensor:
+        """Create a tensor with an explicit tile mapping (used by the sparse
+        layer, whose halo-reordered layouts are anything but linear)."""
+        var = self.graph.add_variable(name, shape, dtype, mapping=mapping)
+        return Tensor(self, var=var)
+
+    # -- materialization ---------------------------------------------------------------------
+
+    def _participating_tiles(self, expr: Expr):
+        """Tiles that hold every leaf, and the distributed mapping (if any)."""
+        dist_var = None
+        tiles = None
+        for leaf in expr.leaves():
+            v = leaf.var
+            tset = set(v.tile_ids)
+            tiles = tset if tiles is None else (tiles & tset)
+            if not v.is_scalar and not v.replicated:
+                if dist_var is None:
+                    dist_var = v
+                elif [
+                    (iv.tile_id, iv.start, iv.stop)
+                    for iv in sorted((s.interval for s in dist_var.shards.values()), key=lambda i: i.start)
+                ] != [
+                    (iv.tile_id, iv.start, iv.stop)
+                    for iv in sorted((s.interval for s in v.shards.values()), key=lambda i: i.start)
+                ]:
+                    raise ValueError(
+                        f"operands {dist_var.name!r} and {v.name!r} have different tile mappings"
+                    )
+        if tiles is None:  # constants only
+            tiles = set(range(self.device.num_tiles))
+        if not tiles:
+            raise ValueError("expression has no common tile")
+        return sorted(tiles), dist_var
+
+    def materialize_expr(self, expr: Expr) -> Tensor:
+        """Fuse ``expr`` into one codelet per tile writing a fresh variable."""
+        tiles, dist_var = self._participating_tiles(expr)
+        name = self.graph.unique_name("m")
+        if dist_var is None:
+            out = self.graph.add_replicated(name, expr.shape, expr.dtype, tile_ids=tiles)
+        else:
+            mapping = [dist_var.shard(t).interval for t in dist_var.tile_ids]
+            out = self.graph.add_variable(name, expr.shape, expr.dtype, mapping=mapping)
+        self._emit_elementwise(expr, out)
+        return Tensor(self, var=out)
+
+    def assign(self, var, expr: Expr) -> None:
+        """Schedule ``expr`` to be evaluated into the existing ``var``."""
+        self._emit_elementwise(expr, var)
+
+    def _emit_elementwise(self, expr: Expr, out_var) -> None:
+        cs = ComputeSet(self.graph.unique_name("cs"), category=category_for(expr.dtype))
+        workers = self.device.spec.workers_per_tile
+        for t in out_var.tile_ids:
+            cl = elementwise_codelet(self.device.model, expr, out_var, t, workers)
+            cs.add_vertex(cl, t, {})
+        self.append(ExecuteStep(cs))
+
+    # -- reductions ------------------------------------------------------------------------------
+
+    def reduce_expr(self, expr: Expr, op: str = "sum") -> Tensor:
+        """Global reduction (sum/max/min): per-tile partials → gather →
+        combine → broadcast."""
+        if op not in ("sum", "max", "min"):
+            raise ValueError(f"unknown reduction op {op!r} (sum/max/min)")
+        tiles, dist_var = self._participating_tiles(expr)
+        if dist_var is None:
+            # Scalar expression: "reducing" it is just materializing it.
+            return self.materialize_expr(expr)
+        tiles = dist_var.tile_ids
+        dtype = expr.dtype
+        workers = self.device.spec.workers_per_tile
+
+        partials = self.graph.add_variable(
+            self.graph.unique_name("part"),
+            (len(tiles),),
+            dtype,
+            mapping=[Interval(t, i, i + 1) for i, t in enumerate(tiles)],
+        )
+        cs = ComputeSet(self.graph.unique_name("cs_reduce"), category="reduce")
+        for t in tiles:
+            cs.add_vertex(partial_reduce_codelet(self.device.model, expr, partials, t, workers, op=op), t, {})
+        self.append(ExecuteStep(cs))
+
+        root = tiles[0]
+        gathered = self.graph.add_single_tile(
+            self.graph.unique_name("gath"), (len(tiles),), dtype, tile_id=root
+        )
+        self.append(
+            Exchange(
+                [
+                    RegionCopy(partials, t, 0, ((gathered, root, i),), 1)
+                    for i, t in enumerate(tiles)
+                ],
+                name="exchange",
+            )
+        )
+
+        result = self.graph.add_replicated(self.graph.unique_name("red"), (), dtype, tile_ids=tiles)
+        cs2 = ComputeSet(self.graph.unique_name("cs_combine"), category="reduce")
+        cs2.add_vertex(combine_codelet(self.device.model, gathered, result, root, op=op), root, {})
+        self.append(ExecuteStep(cs2))
+
+        # Broadcast the scalar back to every participating tile.
+        others = [t for t in tiles if t != root]
+        if others:
+            self.append(
+                Exchange(
+                    [RegionCopy(result, root, 0, tuple((result, t, 0) for t in others), 1)],
+                    name="exchange",
+                )
+            )
+        return Tensor(self, var=result)
+
+    # -- control flow (the control-flow stack of Sec. III-B) ------------------------------------
+
+    def _as_cond_var(self, cond) -> object:
+        if isinstance(cond, Tensor):
+            t = cond.materialize()
+            if not t.var.is_scalar:
+                raise ValueError("control-flow conditions must be scalar tensors")
+            return t.var
+        raise TypeError("condition must be a TensorDSL tensor")
+
+    def If(self, cond, then_fn, else_fn=None) -> None:
+        cond_var = self._as_cond_var(cond)
+        then_seq = self._capture(then_fn)
+        else_seq = self._capture(else_fn) if else_fn is not None else None
+        self.append(IfStep(cond_var, then_seq, else_seq))
+
+    def While(self, cond, body_fn, max_iterations: int = 100_000) -> None:
+        """Run ``body_fn`` while the scalar ``cond`` tensor is nonzero.
+
+        ``cond`` must be materialized; the body updates it via ``assign``
+        (the ``terminate`` flag pattern of Fig. 4).
+        """
+        cond_var = self._as_cond_var(cond)
+        body_seq = self._capture(body_fn)
+        self.append(RepeatWhile(cond_var, body_seq, max_iterations=max_iterations))
+
+    def Repeat(self, count: int, body_fn) -> None:
+        self.append(RepeatStep(count, self._capture(body_fn)))
+
+    def _capture(self, body_fn) -> Sequence:
+        """Symbolically execute ``body_fn`` into a fresh schedule step."""
+        seq = Sequence()
+        self._stack.append(seq)
+        try:
+            body_fn()
+        finally:
+            self._stack.pop()
+        return seq
+
+    # -- CodeDSL bridge ------------------------------------------------------------------------------
+
+    def Execute(self, tensors, fn) -> None:
+        """Run a CodeDSL kernel over the shards of ``tensors`` on each tile.
+
+        ``fn`` receives one :class:`~repro.codedsl.values.ArrayRef` per
+        tensor and is symbolically executed once; the generated codelet runs
+        on every tile that holds all the tensors' shards (tile-centric
+        semantics: each tile sees only its own shard).
+        """
+        tensors = [t.materialize() for t in tensors]
+        params = [f"p{i}" for i in range(len(tensors))]
+        ir = CodeletIR(params=params)
+        with ir:
+            fn(*[ir.array(p) for p in params])
+        compiled = ir.compile()
+        tiles = sorted(set.intersection(*(set(t.var.tile_ids) for t in tensors)))
+        if not tiles:
+            raise ValueError("tensors share no tile")
+        model = self.device.model
+        cs = ComputeSet(self.graph.unique_name("cs_codedsl"), category="codedsl")
+        for tile_id in tiles:
+            bindings = {p: t.var.shard(tile_id).data for p, t in zip(params, tensors)}
+            flops = estimate_flops(ir, bindings)
+
+            def run(ctx, _b=bindings):
+                compiled(**_b)
+
+            def cycles(ctx, _f=flops):
+                return model.vertex_overhead + _f * model.spec.f32_op_cycles
+
+            cs.add_vertex(Codelet(f"codedsl@{tile_id}", run, cycles, category="codedsl"), tile_id, {})
+        self.append(ExecuteStep(cs))
+
+    # -- host interaction --------------------------------------------------------------------------------
+
+    def callback(self, fn) -> None:
+        """Insert a host callback (progress reporting, host I/O)."""
+        self.append(HostCallback(fn))
+
+    def print(self, label: str, tensor: Tensor | None = None) -> None:
+        """Print a label (and optionally a scalar tensor's value) at runtime."""
+        if tensor is not None:
+            t = tensor.materialize()
+
+            def fn(engine, _v=t.var, _l=label):
+                print(f"{_l}: {engine.read_scalar(_v)}")
+
+        else:
+
+            def fn(engine, _l=label):
+                print(_l)
+
+        self.append(HostCallback(fn))
+
+    # -- execution ------------------------------------------------------------------------------------------
+
+    def run(self) -> Engine:
+        """Concrete execution: run the generated schedule on the machine model."""
+        engine = Engine(self.graph)
+        engine.run(self.root)
+        return engine

@@ -1,0 +1,280 @@
+"""Expression materialization: fuse an expression tree into per-tile codelets.
+
+Materialization is where symbolic execution meets the dataflow graph: the
+whole expression tree becomes ONE generated codelet per tile (delayed
+materialization, Sec. III-C), evaluated over the tile's shards with exact
+working-precision semantics:
+
+- ``float32`` ops run on NumPy float32 arrays (IEEE RN, same as IPU f32),
+- ``dw`` ops run the Joldes et al. kernels on (hi, lo) float32 pairs,
+- ``float64`` ops run on NumPy float64 (bit-equal to a correct soft-float).
+
+Broadcasting follows NumPy rules — scalar shards are size-1 arrays that
+broadcast inside the codelet, avoiding materializing expanded tensors
+(exactly the paper's approach).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dw import joldes
+from repro.dw.eft import two_prod
+from repro.graph.codelet import Codelet
+from repro.tensordsl.expression import BinExpr, ConstExpr, ConvertExpr, Expr, Leaf, UnExpr
+from repro.tensordsl.types import Type, promote
+
+__all__ = [
+    "eval_expr_on_tile",
+    "convert_value",
+    "elementwise_codelet",
+    "partial_reduce_codelet",
+    "combine_codelet",
+    "category_for",
+    "worker_chunks",
+]
+
+
+# -- value representation helpers ------------------------------------------------------
+# float32 / float64 values are NumPy arrays (or scalars); dw values are
+# (hi, lo) tuples of float32 arrays.
+
+
+def convert_value(value, src: str, dst: str):
+    if src == dst:
+        return value
+    if src == Type.DOUBLEWORD:
+        wide = np.asarray(value[0], np.float64) + np.asarray(value[1], np.float64)
+        return wide.astype(np.float32) if dst == Type.FLOAT32 else wide
+    if dst == Type.DOUBLEWORD:
+        wide = np.asarray(value, dtype=np.float64)
+        hi = wide.astype(np.float32)
+        lo = (wide - hi.astype(np.float64)).astype(np.float32)
+        return hi, lo
+    target = np.float32 if dst == Type.FLOAT32 else np.float64
+    return np.asarray(value, dtype=target)
+
+
+def _dw_sqrt(hi, lo):
+    """Vectorized double-word square root (one Newton refinement)."""
+    hi = np.asarray(hi, np.float32)
+    lo = np.asarray(lo, np.float32)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s0 = np.sqrt(hi)
+        ph, pl = two_prod(s0, s0)
+        rh, rl = joldes.sub_dw_dw(hi, lo, ph, pl)
+        ch, cl = joldes.div_dw_fp(rh, rl, np.float32(2.0) * s0)
+        oh, ol = joldes.add_dw_fp(ch, cl, s0)
+    zero = hi == 0
+    oh = np.where(zero, np.float32(0), oh)
+    ol = np.where(zero, np.float32(0), ol)
+    return oh, ol
+
+
+def _dw_view64(value):
+    return np.asarray(value[0], np.float64) + np.asarray(value[1], np.float64)
+
+
+_CMP = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_DW_BIN = {
+    "+": joldes.add_dw_dw,
+    "-": joldes.sub_dw_dw,
+    "*": joldes.mul_dw_dw,
+    "/": joldes.div_dw_dw,
+}
+
+
+def eval_expr_on_tile(expr: Expr, tile_id: int):
+    """Evaluate ``expr`` over the shards of ``tile_id``; returns the value in
+    ``expr.dtype`` representation."""
+    if isinstance(expr, Leaf):
+        sh = expr.var.shard(tile_id)
+        if expr.var.dtype == Type.DOUBLEWORD:
+            return sh.data, sh.lo
+        return sh.data
+    if isinstance(expr, ConstExpr):
+        return convert_value(np.float64(expr.value), Type.FLOAT64, expr.dtype)
+    if isinstance(expr, ConvertExpr):
+        inner = eval_expr_on_tile(expr.operand, tile_id)
+        return convert_value(inner, expr.operand.dtype, expr.target)
+    if isinstance(expr, UnExpr):
+        v = eval_expr_on_tile(expr.operand, tile_id)
+        dt = expr.operand.dtype
+        if dt == Type.DOUBLEWORD:
+            hi, lo = v
+            if expr.op == "neg":
+                return -hi, -lo
+            if expr.op == "abs":
+                neg = hi < 0
+                return np.where(neg, -hi, hi), np.where(neg, -lo, lo)
+            if expr.op == "sqrt":
+                return _dw_sqrt(hi, lo)
+        else:
+            if expr.op == "neg":
+                return -v
+            if expr.op == "abs":
+                return np.abs(v)
+            if expr.op == "sqrt":
+                return np.sqrt(v)
+        raise ValueError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, BinExpr):
+        if expr.op in _CMP:
+            cmp_dt = promote(expr.left.dtype, expr.right.dtype)
+            lv = convert_value(eval_expr_on_tile(expr.left, tile_id), expr.left.dtype, cmp_dt)
+            rv = convert_value(eval_expr_on_tile(expr.right, tile_id), expr.right.dtype, cmp_dt)
+            if cmp_dt == Type.DOUBLEWORD:
+                lv, rv = _dw_view64(lv), _dw_view64(rv)
+            return _CMP[expr.op](lv, rv).astype(np.float32)
+        dt = expr.dtype
+        lv = convert_value(eval_expr_on_tile(expr.left, tile_id), expr.left.dtype, dt)
+        rv = convert_value(eval_expr_on_tile(expr.right, tile_id), expr.right.dtype, dt)
+        if dt == Type.DOUBLEWORD:
+            return _DW_BIN[expr.op](lv[0], lv[1], rv[0], rv[1])
+        op = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}[expr.op]
+        return op(lv, rv)
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+# -- codelet factories -------------------------------------------------------------------
+
+
+def category_for(dtype: str) -> str:
+    """Profiler bucket: extended-precision ops are a Table IV line item."""
+    return "elementwise" if dtype == Type.FLOAT32 else "extended_precision"
+
+
+def worker_chunks(n: int, workers: int) -> list:
+    """Split ``n`` elements over worker threads (empty workers dropped)."""
+    if n <= 0:
+        return []
+    base, extra = divmod(n, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers) if base + (1 if i < extra else 0) > 0]
+
+
+def _elementwise_worker_cycles(model, dtype, op_counts, n, workers):
+    if not op_counts:  # pure copy/convert
+        op_counts = {"add": 1}
+    return [
+        model.elementwise_mixed(dtype, op_counts, chunk)
+        for chunk in worker_chunks(n, workers)
+    ] or [model.vertex_overhead]
+
+
+def elementwise_codelet(model, expr: Expr, out_var, tile_id: int, workers: int) -> Codelet:
+    """Fused elementwise codelet writing ``expr`` into ``out_var``'s shard."""
+    out_dt = out_var.dtype
+    op_counts = expr.op_counts()
+
+    def run(ctx):
+        value = convert_value(eval_expr_on_tile(expr, tile_id), expr.dtype, out_dt)
+        sh = out_var.shard(tile_id)
+        if out_dt == Type.DOUBLEWORD:
+            sh.data[...] = np.broadcast_to(value[0], sh.data.shape)
+            sh.lo[...] = np.broadcast_to(value[1], sh.lo.shape)
+        else:
+            sh.data[...] = np.broadcast_to(value, sh.data.shape)
+
+    def cycles(ctx):
+        n = out_var.shard(tile_id).size
+        return _elementwise_worker_cycles(model, expr.dtype, op_counts, n, workers)
+
+    return Codelet(f"ew@{tile_id}", run, cycles, category=category_for(expr.dtype))
+
+
+REDUCE_OPS = ("sum", "max", "min")
+
+
+def _dw_tree_sum(hi, lo):
+    """Pairwise double-word summation of flat (hi, lo) arrays."""
+    while hi.size > 1:
+        half = hi.size // 2
+        h2, l2 = joldes.add_dw_dw(hi[:half], lo[:half], hi[half : 2 * half], lo[half : 2 * half])
+        if hi.size % 2:
+            h2 = np.concatenate([h2, hi[-1:]])
+            l2 = np.concatenate([l2, lo[-1:]])
+        hi, lo = h2, l2
+    return (hi[0], lo[0]) if hi.size else (np.float32(0), np.float32(0))
+
+
+def _reduce_value(value, dt: str, op: str):
+    """Reduce a tile-local value; returns scalar (or (hi, lo) for dw)."""
+    if dt == Type.DOUBLEWORD:
+        hi = np.atleast_1d(np.asarray(value[0], np.float32)).ravel()
+        lo = np.atleast_1d(np.asarray(value[1], np.float32)).ravel()
+        if op == "sum":
+            return _dw_tree_sum(hi, lo)
+        wide = hi.astype(np.float64) + lo.astype(np.float64)
+        k = int(np.argmax(wide) if op == "max" else np.argmin(wide))
+        return hi[k], lo[k]
+    arr = np.atleast_1d(np.asarray(value)).ravel()
+    if op == "sum":
+        # Pairwise (numpy's default) keeps f32 partial sums well-behaved.
+        return arr.sum(dtype=arr.dtype)
+    return arr.max() if op == "max" else arr.min()
+
+
+def partial_reduce_codelet(model, expr: Expr, out_var, tile_id: int, workers: int,
+                           op: str = "sum") -> Codelet:
+    """Per-tile partial reduction of ``expr`` into ``out_var``'s one-element shard."""
+    dt = expr.dtype
+    op_counts = expr.op_counts()
+
+    def run(ctx):
+        value = eval_expr_on_tile(expr, tile_id)
+        sh = out_var.shard(tile_id)
+        result = _reduce_value(value, dt, op)
+        if dt == Type.DOUBLEWORD:
+            sh.data[0], sh.lo[0] = result
+        else:
+            sh.data[0] = result
+
+    def cycles(ctx):
+        # Elementwise evaluation fused with the local reduction tree.
+        n = _expr_tile_size(expr, tile_id)
+        per_worker = worker_chunks(n, workers)
+        costs = [
+            model.elementwise_mixed(dt, op_counts, c) + model.reduce(dt, c) - model.vertex_overhead
+            for c in per_worker
+        ] or [model.vertex_overhead]
+        # Worker 0 combines the per-worker partials.
+        costs[0] += model.reduce(dt, len(per_worker)) - model.vertex_overhead
+        return costs
+
+    return Codelet(f"reduce@{tile_id}", run, cycles, category="reduce")
+
+
+def combine_codelet(model, gathered_var, out_var, tile_id: int, op: str = "sum") -> Codelet:
+    """Combine gathered per-tile partials into the final scalar (on one tile)."""
+    dt = gathered_var.dtype
+
+    def run(ctx):
+        g = gathered_var.shard(tile_id)
+        o = out_var.shard(tile_id)
+        value = (g.data, g.lo) if dt == Type.DOUBLEWORD else g.data
+        result = _reduce_value(value, dt, op)
+        if dt == Type.DOUBLEWORD:
+            o.data[0], o.lo[0] = result
+        else:
+            o.data[0] = result
+
+    def cycles(ctx):
+        return model.reduce(dt, gathered_var.size)
+
+    return Codelet(f"combine@{tile_id}", run, cycles, category="reduce")
+
+
+def _expr_tile_size(expr: Expr, tile_id: int) -> int:
+    """Number of elements the expression produces on this tile."""
+    n = 1
+    for leaf in expr.leaves():
+        if not leaf.var.is_scalar:
+            n = max(n, leaf.var.shard(tile_id).size)
+    return n

@@ -1,0 +1,33 @@
+"""Tensor element types and promotion rules.
+
+Mirrors the paper's DSL type system (Sec. III-D): native single precision,
+double-word extended precision, and software-emulated double precision.
+Mixing dtypes in one expression promotes to the widest participant.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Type", "promote", "RANK"]
+
+
+class Type:
+    """dtype name constants (paper syntax: ``Type::FLOAT32``)."""
+
+    FLOAT32 = "float32"
+    DOUBLEWORD = "dw"
+    FLOAT64 = "float64"
+
+
+#: Promotion lattice: float32 < double-word < emulated double.
+RANK = {Type.FLOAT32: 0, Type.DOUBLEWORD: 1, Type.FLOAT64: 2}
+
+
+def promote(*dtypes: str) -> str:
+    """Widest dtype among the participants."""
+    best = Type.FLOAT32
+    for d in dtypes:
+        if d not in RANK:
+            raise ValueError(f"unknown tensor dtype {d!r}")
+        if RANK[d] > RANK[best]:
+            best = d
+    return best

@@ -1,0 +1,152 @@
+"""Property tests for the Joldes (accurate) and Lange-Rump (fast) dw kernels.
+
+A dw operation on float32 pairs should agree with the float64 reference to
+roughly 2^-48 relative error (accurate family) — far beyond float32's 2^-24.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dw import joldes, lange_rump
+
+# Operands that exercise several magnitudes without overflowing intermediates.
+operand = st.floats(min_value=1e-8, max_value=1e8, allow_nan=False, allow_subnormal=False, width=64)
+signed = st.one_of(operand, operand.map(lambda x: -x))
+
+U32 = 2.0**-24
+ACCURATE_BOUND = 16 * U32 * U32  # a few u², with slack
+SLOPPY_BOUND = 256 * U32 * U32
+
+
+def dw_of(x):
+    hi = np.float32(x)
+    lo = np.float32(np.float64(x) - np.float64(hi))
+    return hi, lo
+
+
+def value(pair):
+    return np.float64(pair[0]) + np.float64(pair[1])
+
+
+def relerr(approx, exact):
+    if exact == 0:
+        return abs(approx)
+    return abs((approx - exact) / exact)
+
+
+def scaled_err(approx, exact, *operands):
+    """Error relative to the largest operand — the right yardstick for
+    addition, where cancellation makes result-relative error unbounded."""
+    scale = max(abs(np.float64(o)) for o in operands)
+    return abs(approx - exact) / scale if scale else abs(approx - exact)
+
+
+@pytest.mark.parametrize("arith,bound", [(joldes, ACCURATE_BOUND), (lange_rump, SLOPPY_BOUND)])
+class TestKernelsAgainstFloat64:
+    @given(x=signed, y=signed)
+    @settings(max_examples=250)
+    def test_mul(self, arith, bound, x, y):
+        got = value(arith.mul_dw_dw(*dw_of(x), *dw_of(y)))
+        assert relerr(got, np.float64(x) * np.float64(y)) < bound
+
+    @given(x=signed, y=signed)
+    @settings(max_examples=250)
+    def test_div(self, arith, bound, x, y):
+        got = value(arith.div_dw_dw(*dw_of(x), *dw_of(y)))
+        assert relerr(got, np.float64(x) / np.float64(y)) < bound
+
+    @given(x=operand, y=operand)
+    @settings(max_examples=250)
+    def test_add_same_sign(self, arith, bound, x, y):
+        # Same-sign addition cannot cancel; both families must be accurate.
+        got = value(arith.add_dw_dw(*dw_of(x), *dw_of(y)))
+        assert relerr(got, np.float64(x) + np.float64(y)) < bound
+
+    @given(x=signed, y=operand)
+    @settings(max_examples=250)
+    def test_add_fp(self, arith, bound, x, y):
+        got = value(arith.add_dw_fp(*dw_of(x), np.float32(y)))
+        exact = np.float64(x) + np.float64(np.float32(y))
+        assert scaled_err(got, exact, x, y) < bound
+
+    @given(x=signed, y=operand)
+    @settings(max_examples=250)
+    def test_mul_fp(self, arith, bound, x, y):
+        got = value(arith.mul_dw_fp(*dw_of(x), np.float32(y)))
+        exact = np.float64(x) * np.float64(np.float32(y))
+        assert relerr(got, exact) < bound
+
+    @given(x=signed, y=operand)
+    @settings(max_examples=250)
+    def test_div_fp(self, arith, bound, x, y):
+        got = value(arith.div_dw_fp(*dw_of(x), np.float32(y)))
+        exact = np.float64(x) / np.float64(np.float32(y))
+        assert relerr(got, exact) < bound
+
+    @given(x=signed)
+    @settings(max_examples=100)
+    def test_neg_exact(self, arith, bound, x):
+        assert value(arith.neg(*dw_of(x))) == -value(dw_of(x))
+
+
+class TestAccurateVsSloppyCancellation:
+    def test_accurate_handles_cancellation(self):
+        # x - y with x ≈ y: the accurate family must keep the tiny difference.
+        x = 1.0 + 3e-12
+        y = 1.0
+        got = value(joldes.sub_dw_dw(*dw_of(x), *dw_of(y)))
+        assert got == pytest.approx(3e-12, rel=1e-3)
+
+    def test_joldes_normalized_output(self):
+        # Output pairs must satisfy |lo| <= ulp(hi)/2 (normalization).
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            x, y = rng.uniform(-100, 100, 2)
+            h, l = joldes.add_dw_dw(*dw_of(x), *dw_of(y))
+            if h != 0:
+                assert abs(float(l)) <= np.spacing(np.float32(abs(h))) / 2 + 1e-30
+
+    def test_sloppy_is_cheaper(self):
+        for op in ("add", "mul", "div"):
+            assert lange_rump.FLOPS[op] < joldes.FLOPS[op]
+            assert lange_rump.CYCLES[op] < joldes.CYCLES[op]
+
+    def test_chained_sum_joldes_beats_sloppy(self):
+        # Alternating-sign series stresses cancellation; accumulate 10k terms.
+        rng = np.random.default_rng(3)
+        terms = rng.uniform(-1, 1, 10_000)
+        exact = np.sum(terms.astype(np.float64))
+
+        def accumulate(arith):
+            acc = dw_of(0.0)
+            for t in terms:
+                acc = arith.add_dw_dw(*acc, *dw_of(t))
+            return value(acc)
+
+        err_j = abs(accumulate(joldes) - exact)
+        err_lr = abs(accumulate(lange_rump) - exact)
+        assert err_j <= err_lr + 1e-13
+        assert err_j < 1e-9  # far below f32's ~1e-3 for this sum
+
+
+class TestVectorized:
+    def test_array_kernels_match_scalar(self):
+        rng = np.random.default_rng(11)
+        xs = rng.uniform(-10, 10, 64)
+        ys = rng.uniform(0.5, 10, 64)
+        xh = xs.astype(np.float32)
+        xl = (xs - xh.astype(np.float64)).astype(np.float32)
+        yh = ys.astype(np.float32)
+        yl = (ys - yh.astype(np.float64)).astype(np.float32)
+        for op in (joldes.add_dw_dw, joldes.mul_dw_dw, joldes.div_dw_dw):
+            h, l = op(xh, xl, yh, yl)
+            for i in range(64):
+                hs, ls = op(xh[i], xl[i], yh[i], yl[i])
+                assert h[i] == hs and l[i] == ls
+
+
+def test_table1_cycle_constants():
+    """Joldes cycle counts must match Table I of the paper exactly."""
+    assert joldes.CYCLES == {"add": 132, "mul": 162, "div": 240}

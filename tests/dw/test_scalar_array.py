@@ -1,0 +1,168 @@
+"""Tests for the DWScalar / DWArray containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dw import DWArray, DWScalar, joldes, lange_rump
+
+val = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_subnormal=False, width=64)
+nonzero = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_subnormal=False, width=64)
+
+
+class TestDWScalar:
+    def test_roundtrip_precision(self):
+        x = DWScalar.from_float(np.pi)
+        # Splitting f64 -> (f32, f32) keeps ~48 bits: error < 2^-48 * pi.
+        assert abs(x.to_float() - np.pi) < 2**-46
+
+    @given(val, val)
+    @settings(max_examples=200)
+    def test_add_matches_f64(self, a, b):
+        got = (DWScalar.from_float(a) + DWScalar.from_float(b)).to_float()
+        assert got == pytest.approx(np.float64(a) + np.float64(b), rel=2**-40, abs=1e-20)
+
+    @given(val, nonzero)
+    @settings(max_examples=200)
+    def test_div_matches_f64(self, a, b):
+        got = (DWScalar.from_float(a) / DWScalar.from_float(b)).to_float()
+        assert got == pytest.approx(np.float64(a) / np.float64(b), rel=2**-40)
+
+    def test_mixed_python_float(self):
+        x = DWScalar.from_float(2.0)
+        assert (x + 1.0).to_float() == 3.0
+        assert (1.0 + x).to_float() == 3.0
+        assert (x - 0.5).to_float() == 1.5
+        assert (4.0 - x).to_float() == 2.0
+        assert (x * 3.0).to_float() == 6.0
+        assert (x / 2.0).to_float() == 1.0
+        assert (1.0 / x).to_float() == 0.5
+
+    @given(nonzero)
+    @settings(max_examples=200)
+    def test_sqrt(self, a):
+        got = DWScalar.from_float(a).sqrt().to_float()
+        assert got == pytest.approx(np.sqrt(np.float64(a)), rel=2**-40)
+
+    def test_sqrt_zero_and_negative(self):
+        assert DWScalar.from_float(0.0).sqrt().to_float() == 0.0
+        with pytest.raises(ValueError):
+            DWScalar.from_float(-1.0).sqrt()
+
+    def test_comparisons(self):
+        a = DWScalar.from_float(1.0)
+        b = DWScalar.from_float(1.0 + 1e-10)
+        assert a < b
+        assert b > a
+        assert a <= a and a >= a and a == a
+        assert a < 2.0 and a > 0.5
+
+    def test_abs_neg(self):
+        x = DWScalar.from_float(-2.5)
+        assert abs(x).to_float() == 2.5
+        assert (-x).to_float() == 2.5
+
+    def test_arith_family_propagates(self):
+        x = DWScalar.from_float(1.0, arith=lange_rump)
+        y = x + x
+        assert y.arith is lange_rump
+
+
+class TestDWArray:
+    def test_roundtrip(self):
+        v = np.array([np.pi, np.e, 1.0 + 1e-9])
+        a = DWArray.from_float64(v)
+        np.testing.assert_allclose(a.to_float64(), v, rtol=2**-45)
+
+    def test_elementwise_ops_match_f64(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-10, 10, 128)
+        y = rng.uniform(0.5, 10, 128)
+        ax, ay = DWArray.from_float64(x), DWArray.from_float64(y)
+        np.testing.assert_allclose((ax + ay).to_float64(), x + y, rtol=2**-40, atol=1e-12)
+        np.testing.assert_allclose((ax - ay).to_float64(), x - y, rtol=2**-40, atol=1e-12)
+        np.testing.assert_allclose((ax * ay).to_float64(), x * y, rtol=2**-40)
+        np.testing.assert_allclose((ax / ay).to_float64(), x / y, rtol=2**-40)
+
+    def test_mixed_f32_operand_uses_fp_kernels(self):
+        x = DWArray.from_float64(np.ones(4) * 3.0)
+        y = np.full(4, 2.0, dtype=np.float32)
+        np.testing.assert_allclose((x * y).to_float64(), np.full(4, 6.0))
+        np.testing.assert_allclose((x + y).to_float64(), np.full(4, 5.0))
+        np.testing.assert_allclose((x - y).to_float64(), np.full(4, 1.0))
+        np.testing.assert_allclose((x / y).to_float64(), np.full(4, 1.5))
+
+    def test_scalar_operand(self):
+        x = DWArray.from_float64(np.arange(4, dtype=np.float64))
+        np.testing.assert_allclose((x * 2.0).to_float64(), [0, 2, 4, 6])
+        np.testing.assert_allclose((2.0 * x).to_float64(), [0, 2, 4, 6])
+        np.testing.assert_allclose((x + 1).to_float64(), [1, 2, 3, 4])
+        np.testing.assert_allclose((1.0 - x).to_float64(), [1, 0, -1, -2])
+
+    def test_float64_operand_is_split_not_truncated(self):
+        x = DWArray.zeros(3)
+        y = np.full(3, 1.0 + 1e-9, dtype=np.float64)
+        got = (x + y).to_float64()
+        np.testing.assert_allclose(got, y, rtol=2**-45)
+
+    def test_sum_precision_vs_float32(self):
+        # Sum of 1e5 values near 1.0: f32 accumulates ~1e-2 absolute error,
+        # pairwise dw must stay below 1e-8.
+        rng = np.random.default_rng(9)
+        v = rng.uniform(0.9, 1.1, 100_000)
+        exact = v.sum()
+        dw_sum = DWArray.from_float64(v).sum().to_float()
+        assert abs(dw_sum - exact) < 1e-6
+        f32_err = abs(np.sum(v.astype(np.float32), dtype=np.float32) - exact)
+        assert abs(dw_sum - exact) < f32_err / 10
+
+    def test_sum_empty_and_odd_lengths(self):
+        assert DWArray.zeros(0).sum().to_float() == 0.0
+        for n in (1, 2, 3, 7, 33):
+            v = np.arange(1.0, n + 1)
+            assert DWArray.from_float64(v).sum().to_float() == pytest.approx(v.sum())
+
+    def test_dot_and_norm(self):
+        v = np.array([3.0, 4.0])
+        a = DWArray.from_float64(v)
+        assert a.dot(a).to_float() == pytest.approx(25.0)
+        assert a.norm2().to_float() == pytest.approx(5.0)
+
+    def test_from_product_exact(self):
+        a = np.float32(1.0 + 2.0**-12) * np.ones(8, dtype=np.float32)
+        p = DWArray.from_product(a, a)
+        np.testing.assert_array_equal(
+            p.to_float64(), a.astype(np.float64) * a.astype(np.float64)
+        )
+
+    def test_indexing(self):
+        a = DWArray.from_float64(np.array([1.0, 2.0, 3.0]))
+        assert isinstance(a[1], DWScalar)
+        assert a[1].to_float() == 2.0
+        sub = a[0:2]
+        assert isinstance(sub, DWArray)
+        assert sub.shape == (2,)
+        a[0] = 5.5
+        assert a[0].to_float() == 5.5
+        a[2] = DWScalar.from_float(7.25)
+        assert a[2].to_float() == 7.25
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DWArray(np.zeros(3, np.float32), np.zeros(4, np.float32))
+
+    def test_len_size_copy(self):
+        a = DWArray.zeros(5)
+        assert len(a) == 5 and a.size == 5 and a.shape == (5,)
+        b = a.copy()
+        b[0] = 1.0
+        assert a[0].to_float() == 0.0
+
+    def test_rtruediv(self):
+        a = DWArray.from_float64(np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_allclose((1.0 / a).to_float64(), [1.0, 0.5, 0.25])
+
+    def test_neg(self):
+        a = DWArray.from_float64(np.array([1.0, -2.0]))
+        np.testing.assert_allclose((-a).to_float64(), [-1.0, 2.0])

@@ -1,0 +1,238 @@
+"""Tests for the engine: compute sets, exchanges, control flow, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Codelet,
+    ComputeSet,
+    Engine,
+    Exchange,
+    Execute,
+    Graph,
+    HostCallback,
+    If,
+    RegionCopy,
+    Repeat,
+    RepeatWhile,
+    Sequence,
+    collect_stats,
+)
+from repro.machine import IPUDevice
+
+
+@pytest.fixture
+def graph():
+    return Graph(IPUDevice(tiles_per_ipu=4))
+
+
+def add_one_codelet():
+    return Codelet(
+        "add_one",
+        run=lambda ctx: ctx.__setitem__("x", None) or None,  # replaced below
+        cycles=lambda ctx: 6 * len(ctx["x"]),
+    )
+
+
+def make_inc_cs(var, amount=1.0):
+    """Compute set incrementing every shard of ``var`` in place."""
+    cl = Codelet(
+        "inc",
+        run=lambda ctx: ctx["x"].__iadd__(np.float32(amount)),
+        cycles=lambda ctx: 6 * len(ctx["x"]),
+    )
+    cs = ComputeSet("inc_cs")
+    for t in var.tile_ids:
+        cs.add_vertex(cl, t, {"x": var.shard(t).data})
+    return cs
+
+
+class TestExecute:
+    def test_compute_set_runs_and_charges(self, graph):
+        v = graph.add_variable("x", (8,))
+        v.scatter(np.zeros(8))
+        eng = Engine(graph)
+        eng.run(Execute(make_inc_cs(v)))
+        np.testing.assert_array_equal(eng.read(v), np.ones(8))
+        # 2 elements/tile * 6 cycles + sync.
+        assert graph.device.profiler.total_cycles == graph.device.model.sync() + 12
+        assert eng.supersteps == 1
+
+    def test_superstep_cost_is_slowest_tile(self, graph):
+        v = graph.add_variable("x", (8,))
+        cl = Codelet("noop", run=lambda ctx: None, cycles=lambda ctx: ctx["c"])
+        cs = ComputeSet("uneven")
+        cs.add_vertex(cl, 0, {"c": 100})
+        cs.add_vertex(cl, 1, {"c": 700})
+        eng = Engine(graph)
+        eng.run(Execute(cs))
+        assert graph.device.profiler.total_cycles == graph.device.model.sync() + 700
+
+    def test_worker_packing(self, graph):
+        # 12 equal tasks on one 6-worker tile -> two rounds.
+        cl = Codelet("t", run=lambda ctx: None, cycles=lambda ctx: 10)
+        cs = ComputeSet("pack")
+        for _ in range(12):
+            cs.add_vertex(cl, 0, {})
+        eng = Engine(graph)
+        eng.run(Execute(cs))
+        assert graph.device.profiler.total_cycles == graph.device.model.sync() + 20
+
+    def test_per_worker_cycle_lists(self, graph):
+        cl = Codelet("multi", run=lambda ctx: None, cycles=lambda ctx: [5, 9, 7])
+        cs = ComputeSet("w")
+        cs.add_vertex(cl, 0, {})
+        eng = Engine(graph)
+        eng.run(Execute(cs))
+        assert graph.device.profiler.total_cycles == graph.device.model.sync() + 9
+
+    def test_category_attribution(self, graph):
+        cl = Codelet("k", run=lambda ctx: None, cycles=lambda ctx: 10, category="spmv")
+        cs = ComputeSet("c")
+        cs.add_vertex(cl, 0, {})
+        Engine(graph).run(Execute(cs))
+        assert graph.device.profiler.category("spmv") > 0
+
+
+class TestExchange:
+    def test_region_copy_moves_data(self, graph):
+        a = graph.add_variable("a", (8,))
+        b = graph.add_variable("b", (8,))
+        a.scatter(np.arange(8))
+        eng = Engine(graph)
+        # Copy tile 0's shard of a (elements 0..2) into tile 3's shard of b
+        # (global elements 6..8 live at local offset 0 on tile 3).
+        eng.run(
+            Exchange(
+                [RegionCopy(a, 0, 0, ((b, 3, 0),), 2)],
+            )
+        )
+        out = eng.read(b)
+        np.testing.assert_array_equal(out[6:8], [0.0, 1.0])
+        assert eng.exchanges == 1
+        assert graph.device.profiler.category("exchange") > 0
+
+    def test_broadcast_copy(self, graph):
+        a = graph.add_variable("a", (4,))
+        r = graph.add_replicated("r", (1,))
+        a.scatter([5.0, 0, 0, 0])
+        eng = Engine(graph)
+        copies = [RegionCopy(a, 0, 0, tuple((r, t, 0) for t in range(4)), 1)]
+        eng.run(Exchange(copies))
+        for t in range(4):
+            assert r.shard(t).data[0] == 5.0
+
+    def test_dw_copy_moves_both_words(self, graph):
+        a = graph.add_variable("a", (4,), dtype="dw")
+        b = graph.add_variable("b", (4,), dtype="dw")
+        a.scatter(np.array([1 + 1e-9] * 4))
+        eng = Engine(graph)
+        copies = [RegionCopy(a, t, 0, ((b, t, 0),), 1) for t in range(4)]
+        eng.run(Exchange(copies))
+        np.testing.assert_allclose(eng.read(b), 1 + 1e-9, rtol=2**-45)
+
+    def test_local_copy_cheaper_than_remote(self, graph):
+        a = graph.add_variable("a", (8,))
+        b = graph.add_variable("b", (8,))
+        p = graph.device.profiler
+
+        eng = Engine(graph)
+        eng.run(Exchange([RegionCopy(a, 0, 0, ((b, 0, 0),), 2)]))
+        local = p.total_cycles
+        p.reset()
+        eng.run(Exchange([RegionCopy(a, 0, 0, ((b, 3, 0),), 2)]))
+        remote = p.total_cycles
+        assert local < remote
+
+
+class TestControlFlow:
+    def test_repeat(self, graph):
+        v = graph.add_variable("x", (4,))
+        eng = Engine(graph)
+        eng.run(Repeat(5, Execute(make_inc_cs(v))))
+        np.testing.assert_array_equal(eng.read(v), np.full(4, 5.0))
+        assert eng.loop_iterations == 5
+
+    def test_repeat_while_counts_down(self, graph):
+        # cond = x[0] stays nonzero until decremented to 0.
+        cond = graph.add_single_tile("cond", ())
+        cond.scatter(3.0)
+        dec = Codelet("dec", run=lambda ctx: ctx["c"].__isub__(1.0), cycles=lambda ctx: 6)
+        cs = ComputeSet("dec_cs")
+        cs.add_vertex(dec, 0, {"c": cond.shard(0).data})
+        eng = Engine(graph)
+        eng.run(RepeatWhile(cond, Execute(cs)))
+        assert eng.read_scalar(cond) == 0.0
+        assert eng.loop_iterations == 3
+
+    def test_repeat_while_max_iterations(self, graph):
+        cond = graph.add_single_tile("cond", ())
+        cond.scatter(1.0)  # never changes -> must hit the safety net
+        eng = Engine(graph)
+        eng.run(RepeatWhile(cond, Sequence([]), max_iterations=7))
+        assert eng.loop_iterations == 7
+
+    def test_if_branches(self, graph):
+        cond = graph.add_single_tile("cond", ())
+        v = graph.add_variable("x", (4,))
+        eng = Engine(graph)
+        cond.scatter(1.0)
+        eng.run(If(cond, Execute(make_inc_cs(v)), None))
+        assert eng.read(v)[0] == 1.0
+        cond.scatter(0.0)
+        eng.run(If(cond, Execute(make_inc_cs(v)), Execute(make_inc_cs(v, 10.0))))
+        assert eng.read(v)[0] == 11.0
+
+    def test_host_callback(self, graph):
+        seen = []
+        eng = Engine(graph)
+        eng.run(HostCallback(lambda e: seen.append(e)))
+        assert seen == [eng]
+        assert eng.host_callbacks == 1
+
+    def test_unknown_step_rejected(self, graph):
+        with pytest.raises(TypeError):
+            Engine(graph).run(object())
+
+    def test_read_scalar_requires_scalar(self, graph):
+        v = graph.add_variable("x", (4,))
+        with pytest.raises(ValueError):
+            Engine(graph).read_scalar(v)
+
+
+class TestDeterminism:
+    def test_same_program_same_cycles(self):
+        def run_once():
+            g = Graph(IPUDevice(tiles_per_ipu=4))
+            v = g.add_variable("x", (16,))
+            v.scatter(np.arange(16))
+            eng = Engine(g)
+            eng.run(Repeat(10, Execute(make_inc_cs(v))))
+            return g.device.profiler.total_cycles, eng.read(v)
+
+        c1, v1 = run_once()
+        c2, v2 = run_once()
+        assert c1 == c2
+        np.testing.assert_array_equal(v1, v2)
+
+
+class TestCompilerStats:
+    def test_collect_stats(self, graph):
+        v = graph.add_variable("x", (8,))
+        cs = make_inc_cs(v)
+        body = Sequence([Execute(cs), Exchange([])])
+        prog = Sequence([Repeat(3, body), HostCallback(lambda e: None)])
+        stats = collect_stats(prog)
+        assert stats.compute_sets == 1
+        assert stats.vertices == 4
+        assert stats.exchanges == 1
+        assert stats.host_callbacks == 1
+        assert stats.compile_proxy > 0
+
+    def test_shared_compute_set_counted_once(self, graph):
+        v = graph.add_variable("x", (8,))
+        cs = make_inc_cs(v)
+        prog = Sequence([Execute(cs), Execute(cs)])
+        stats = collect_stats(prog)
+        assert stats.compute_sets == 1
+        assert stats.vertices == 4

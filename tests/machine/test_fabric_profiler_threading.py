@@ -1,0 +1,162 @@
+"""Tests for the exchange fabric, profiler, and IPUTHREADING models."""
+
+import pytest
+
+from repro.machine import CycleModel, IPUDevice, Profiler, Transfer
+from repro.machine.fabric import ExchangeFabric
+from repro.machine.spec import MK2
+from repro.machine import threading as thr
+
+
+def make_fabric(num_ipus=1, tiles_per_ipu=8):
+    dev = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
+    return dev.fabric
+
+
+class TestTransfer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(0, (), 10)
+        with pytest.raises(ValueError):
+            Transfer(0, (1,), -1)
+
+
+class TestFabric:
+    def test_empty_phase_is_free(self):
+        phase = make_fabric().run([])
+        assert phase.cycles == 0
+
+    def test_single_transfer_cost(self):
+        fabric = make_fabric()
+        phase = fabric.run([Transfer(0, (1,), 400)])
+        assert phase.sync_cycles == MK2.sync_cycles
+        assert phase.stream_cycles == 100  # 400 B / 4 B-per-cycle
+        assert phase.instr_cycles == MK2.exchange_instr_cycles  # 1 instr per tile
+        assert phase.cycles == phase.sync_cycles + phase.stream_cycles + phase.instr_cycles
+
+    def test_broadcast_streams_once(self):
+        fabric = make_fabric()
+        uni = fabric.run([Transfer(0, (1,), 400)])
+        multi = fabric.run([Transfer(0, (1, 2, 3), 400)])
+        # Sender streams once regardless of receiver count...
+        assert multi.stream_cycles == uni.stream_cycles
+        # ...but total moved bytes count every copy.
+        assert multi.total_bytes == 3 * uni.total_bytes
+
+    def test_parallel_transfers_overlap(self):
+        # Disjoint tile pairs exchange simultaneously: cost = one transfer.
+        fabric = make_fabric()
+        one = fabric.run([Transfer(0, (1,), 400)])
+        four = fabric.run(
+            [Transfer(0, (1,), 400), Transfer(2, (3,), 400),
+             Transfer(4, (5,), 400), Transfer(6, (7,), 400)]
+        )
+        assert four.stream_cycles == one.stream_cycles
+        assert four.cycles == one.cycles
+
+    def test_hotspot_serializes(self):
+        # Same sender for two regions: send bytes accumulate.
+        fabric = make_fabric()
+        phase = fabric.run([Transfer(0, (1,), 400), Transfer(0, (2,), 400)])
+        assert phase.stream_cycles == 200
+
+    def test_inter_ipu_pays_link_sync(self):
+        fabric = make_fabric(num_ipus=2, tiles_per_ipu=4)
+        on_chip = fabric.run([Transfer(0, (1,), 4000)])
+        cross = fabric.run([Transfer(0, (4,), 4000)])
+        assert cross.inter_ipu and not on_chip.inter_ipu
+        assert cross.sync_cycles == MK2.link_sync_cycles
+        assert cross.cycles > on_chip.cycles
+
+    def test_links_are_shared_per_chip(self):
+        # Many tiles crossing chips at once saturate the shared links: the
+        # phase is slower than the same traffic between on-chip pairs.
+        fabric = make_fabric(num_ipus=2, tiles_per_ipu=1024)
+        nbytes = 4000
+        cross = fabric.run([Transfer(t, (1024 + t,), nbytes) for t in range(1024)])
+        on_chip = fabric.run([Transfer(2 * t, (2 * t + 1,), nbytes) for t in range(512)])
+        assert cross.stream_cycles > on_chip.stream_cycles
+
+    def test_instruction_overhead_scales_with_region_count(self):
+        # The quantity Sec. IV's reordering minimizes: many small regions
+        # cost more instruction cycles than one big one, same bytes.
+        fabric = make_fabric()
+        blockwise = fabric.run([Transfer(0, (1,), 400)])
+        per_cell = fabric.run([Transfer(0, (1,), 4) for _ in range(100)])
+        assert per_cell.instr_cycles == 100 * blockwise.instr_cycles
+        assert per_cell.stream_cycles == blockwise.stream_cycles
+        assert per_cell.cycles > blockwise.cycles
+
+
+class TestProfiler:
+    def test_totals_and_categories(self):
+        p = Profiler()
+        p.record("spmv", 100)
+        p.record("reduce", 50)
+        p.record("spmv", 25)
+        assert p.total_cycles == 175
+        assert p.category("spmv") == 125
+        assert p.fractions()["reduce"] == pytest.approx(50 / 175)
+
+    def test_step_paths(self):
+        p = Profiler()
+        with p.step("solver"):
+            with p.step("iteration"):
+                p.record("spmv", 10)
+            p.record("setup", 5)
+        p.record("other", 1)
+        paths = p.by_path()
+        assert paths["solver/iteration"] == 10
+        assert paths["solver"] == 5
+        assert paths["<toplevel>"] == 1
+
+    def test_reset(self):
+        p = Profiler()
+        p.record("x", 10)
+        p.reset()
+        assert p.total_cycles == 0 and p.by_category() == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler().record("x", -1)
+
+    def test_report_contains_categories(self):
+        p = Profiler()
+        p.record("spmv", 10)
+        assert "spmv" in p.report()
+
+
+class TestThreading:
+    LEVELS = [[100, 90, 80, 70, 60, 50], [40, 40], [10]]
+
+    def test_per_level_compute_sets(self):
+        cost = thr.per_level_compute_sets(self.LEVELS, MK2)
+        assert cost.compute_sets == 3
+        assert cost.vertices == 9
+        expected = sum(
+            MK2.sync_cycles + thr.VERTEX_DISPATCH_CYCLES + max(lv) for lv in self.LEVELS
+        )
+        assert cost.cycles == expected
+
+    def test_iputhreading_single_compute_set(self):
+        cost = thr.iputhreading(self.LEVELS, MK2)
+        assert cost.compute_sets == 1
+        assert cost.vertices == 1
+        expected = thr.SUPERVISOR_PROLOGUE_CYCLES + sum(
+            thr.WORKER_SPAWN_CYCLES + max(lv) + thr.TILE_BARRIER_CYCLES for lv in self.LEVELS
+        )
+        assert cost.cycles == expected
+
+    def test_iputhreading_faster_and_smaller(self):
+        # The library's raison d'être: fewer graph vertices AND fewer cycles
+        # (a tile barrier is much cheaper than a chip-wide sync).
+        many_levels = [[50] * 6 for _ in range(200)]
+        old = thr.per_level_compute_sets(many_levels, MK2)
+        new = thr.iputhreading(many_levels, MK2)
+        assert new.vertices < old.vertices
+        assert new.cycles < old.cycles
+
+    def test_empty_levels(self):
+        for fn in (thr.per_level_compute_sets, thr.iputhreading):
+            cost = fn([], MK2)
+            assert cost.cycles == 0 and cost.vertices == 0

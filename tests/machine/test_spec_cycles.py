@@ -1,0 +1,92 @@
+"""Tests for the IPU spec and cycle model."""
+
+import math
+
+import pytest
+
+from repro.machine import MK2, CycleModel, IPUSpec
+from repro.machine.cycles import OP_CYCLES
+
+
+class TestSpec:
+    def test_mk2_constants_match_paper(self):
+        # Sec. II-A: 1,472 tiles, 6 workers, ~612 kB/tile (~900 MB/chip).
+        assert MK2.tiles_per_ipu == 1472
+        assert MK2.workers_per_tile == 6
+        assert MK2.sram_per_tile == 612 * 1024
+        assert MK2.sram_per_ipu == pytest.approx(900e6, rel=0.03)
+
+    def test_with_override(self):
+        small = MK2.with_(tiles_per_ipu=8)
+        assert small.tiles_per_ipu == 8
+        assert MK2.tiles_per_ipu == 1472  # original untouched (frozen)
+
+    def test_seconds(self):
+        assert MK2.seconds(MK2.clock_hz) == pytest.approx(1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MK2.tiles_per_ipu = 3
+
+
+class TestOpCycles:
+    def test_table1_values(self):
+        # Table I: f32 6 cycles; dw 132/162/240; emulated f64 ~1080/1260/2520.
+        assert OP_CYCLES["float32"]["add"] == 6
+        assert OP_CYCLES["dw"] == dict(OP_CYCLES["dw"], add=132, mul=162, div=240)
+        assert OP_CYCLES["float64"]["add"] == 1080
+        assert OP_CYCLES["float64"]["mul"] == 1260
+        assert OP_CYCLES["float64"]["div"] == 2520
+
+    def test_dw_cheaper_than_emulated_double(self):
+        for op in ("add", "mul", "div"):
+            assert OP_CYCLES["dw"][op] < OP_CYCLES["float64"][op]
+            assert OP_CYCLES["dw_fast"][op] <= OP_CYCLES["dw"][op]
+
+
+class TestCycleModel:
+    def setup_method(self):
+        self.m = CycleModel()
+
+    def test_elementwise_f32_uses_simd(self):
+        # 2-wide f32 SIMD: n elements cost ~n/2 op slots.
+        narrow = self.m.elementwise("float32", 1, 100)
+        wide = self.m.elementwise("dw", 1, 100)
+        assert narrow - self.m.vertex_overhead == math.ceil(100 / 2) * 6
+        assert wide - self.m.vertex_overhead == 100 * 132
+
+    def test_elementwise_mixed(self):
+        c = self.m.elementwise_mixed("dw", {"mul": 1, "add": 1}, 10)
+        assert c == self.m.vertex_overhead + 10 * (162 + 132)
+
+    def test_spmv_monotone_in_nnz_and_rows(self):
+        base = self.m.spmv_rows("float32", nnz=100, rows=10)
+        assert self.m.spmv_rows("float32", nnz=200, rows=10) > base
+        assert self.m.spmv_rows("float32", nnz=100, rows=20) > base
+
+    def test_triangular_charges_divides_and_stalls(self):
+        only_rows = self.m.triangular_rows("float32", nnz=0, rows=10)
+        assert only_rows == 10 * (6 + self.m.triangular_row_overhead)
+        # Dependency stalls make triangular rows dearer than SpMV rows.
+        assert self.m.triangular_row_overhead > self.m.row_overhead
+
+    def test_reduce(self):
+        assert self.m.reduce("float32", 1) == self.m.vertex_overhead
+        assert self.m.reduce("float32", 5) == self.m.vertex_overhead + 4 * 6
+
+    def test_exchange_bandwidths(self):
+        on_chip = self.m.exchange_bytes(4000)
+        assert on_chip == math.ceil(4000 / MK2.exchange_bytes_per_cycle)
+        # IPU-Links: a per-chip shared resource — far below the aggregate
+        # on-chip fabric (every tile streams 4 B/cycle simultaneously).
+        link = self.m.link_bytes(4000 * MK2.tiles_per_ipu)
+        all_tiles_on_chip = self.m.exchange_bytes(4000)  # tiles in parallel
+        assert link > all_tiles_on_chip
+
+    def test_sync_costs(self):
+        assert self.m.sync() == MK2.sync_cycles
+        assert self.m.sync(inter_ipu=True) == MK2.link_sync_cycles
+
+    def test_custom_spec_propagates(self):
+        m = CycleModel(spec=IPUSpec(exchange_bytes_per_cycle=8.0))
+        assert m.exchange_bytes(64) == 8

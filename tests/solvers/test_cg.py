@@ -1,0 +1,84 @@
+"""Tests for the preconditioned Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import solve
+from repro.sparse import poisson2d, poisson3d
+from repro.sparse.suitesparse import af_shell_like
+
+
+@pytest.fixture
+def system():
+    crs, dims = poisson2d(12)
+    b = np.random.default_rng(8).standard_normal(crs.n)
+    return crs, dims, b
+
+
+class TestConjugateGradient:
+    def test_converges(self, system):
+        crs, dims, b = system
+        res = solve(crs, b, {"solver": "cg", "tol": 1e-6}, grid_dims=dims, tiles_per_ipu=4)
+        assert res.relative_residual < 1e-5
+        np.testing.assert_allclose(
+            res.x, np.linalg.solve(crs.to_scipy().toarray(), b), rtol=1e-2, atol=1e-3
+        )
+
+    def test_ilu_preconditioning_helps(self, system):
+        crs, dims, b = system
+        plain = solve(crs, b, {"solver": "cg", "tol": 1e-6}, grid_dims=dims, tiles_per_ipu=4)
+        pre = solve(
+            crs, b,
+            {"solver": "cg", "tol": 1e-6, "preconditioner": {"solver": "ilu0"}},
+            grid_dims=dims, tiles_per_ipu=4,
+        )
+        assert pre.iterations < plain.iterations
+
+    def test_cheaper_per_iteration_than_bicgstab(self, system):
+        # CG: 1 SpMV + 1 preconditioner per iteration; BiCGStab: 2 + 2.
+        crs, dims, b = system
+        cg = solve(
+            crs, b, {"solver": "cg", "fixed_iterations": 10, "tol": 1e-30,
+                      "preconditioner": {"solver": "ilu0"}},
+            grid_dims=dims, tiles_per_ipu=4,
+        )
+        bi = solve(
+            crs, b, {"solver": "bicgstab", "fixed_iterations": 10, "tol": 1e-30,
+                      "preconditioner": {"solver": "ilu0"}},
+            grid_dims=dims, tiles_per_ipu=4,
+        )
+        assert cg.cycles < bi.cycles
+
+    def test_on_spd_benchmark_double(self):
+        crs = af_shell_like(nx=12, ny=12, layers=3)
+        b = np.random.default_rng(9).standard_normal(crs.n)
+        res = solve(
+            crs, b,
+            {"solver": "cg", "tol": 1e-4, "max_iterations": 2000,
+             "preconditioner": {"solver": "ilu0"}},
+            tiles_per_ipu=4,
+        )
+        assert res.relative_residual < 1e-2
+
+    def test_multigrid_preconditioned_cg(self):
+        crs, dims = poisson3d(8)
+        b = np.random.default_rng(10).standard_normal(crs.n)
+        res = solve(
+            crs, b,
+            {"solver": "cg", "tol": 1e-6,
+             # CG needs an SPD preconditioner -> symmetric GS smoothing.
+             "preconditioner": {"solver": "multigrid", "grid_dims": dims,
+                                 "cycles": 1,
+                                 "smoother": {"solver": "gauss_seidel",
+                                               "sweeps": 1,
+                                               "direction": "symmetric"}}},
+            grid_dims=dims, tiles_per_ipu=8,
+        )
+        assert res.relative_residual < 1e-5
+        assert res.iterations < 15
+
+    def test_history_recorded(self, system):
+        crs, dims, b = system
+        res = solve(crs, b, {"solver": "cg", "tol": 1e-6}, grid_dims=dims, tiles_per_ipu=4)
+        assert len(res.stats.residuals) == res.iterations
+        assert res.stats.residuals[-1] < res.stats.residuals[0]

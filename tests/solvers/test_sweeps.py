@@ -1,0 +1,115 @@
+"""Tests for the level-scheduled sweep engine."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.machine import CycleModel, MK2
+from repro.solvers.sweeps import build_sweep
+from repro.sparse import ModifiedCRS, poisson2d
+
+
+def local_block(crs):
+    return crs.n, crs.row_ptr, crs.col_idx, crs.values.astype(np.float32), crs.diag.astype(np.float32)
+
+
+class TestForwardSweep:
+    def test_unit_lower_solve(self):
+        # L y = b with unit diagonal: y = b - L_strict y, rows in order.
+        a = np.array(
+            [[1.0, 0, 0, 0], [2.0, 1, 0, 0], [0, 3.0, 1, 0], [4.0, 0, 5.0, 1]],
+            dtype=np.float64,
+        )
+        crs = ModifiedCRS.from_scipy(sp.csr_matrix(a))
+        n, ptr, cols, vals, diag = local_block(crs)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: c < r)
+        b = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        plan.run(y, b, diag=None)
+        expected = np.linalg.solve(np.tril(a), b.astype(np.float64))
+        np.testing.assert_allclose(y, expected, rtol=1e-6, atol=1e-6)
+
+    def test_non_unit_forward(self):
+        a = np.array([[2.0, 0, 0], [1.0, 4.0, 0], [3.0, 5.0, 8.0]])
+        crs = ModifiedCRS.from_scipy(sp.csr_matrix(a))
+        n, ptr, cols, vals, diag = local_block(crs)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: c < r)
+        b = np.array([2.0, 6.0, 24.0], dtype=np.float32)
+        y = np.zeros(3, dtype=np.float32)
+        plan.run(y, b, diag=diag)
+        np.testing.assert_allclose(y, np.linalg.solve(a, b.astype(np.float64)), rtol=1e-6)
+
+
+class TestBackwardSweep:
+    def test_upper_solve(self):
+        a = np.array([[2.0, 1.0, 3.0], [0, 4.0, 5.0], [0, 0, 8.0]])
+        crs = ModifiedCRS.from_scipy(sp.csr_matrix(a))
+        n, ptr, cols, vals, diag = local_block(crs)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: c > r, backward=True)
+        b = np.array([6.0, 9.0, 8.0], dtype=np.float32)
+        x = np.zeros(3, dtype=np.float32)
+        plan.run(x, b, diag=diag)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b.astype(np.float64)), rtol=1e-6)
+
+    def test_backward_levels_reversed(self):
+        # Bidiagonal upper: row i depends on i+1 -> n levels, last row first.
+        crs, _ = poisson2d(3)
+        n, ptr, cols, vals, diag = local_block(crs)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: c > r, backward=True)
+        assert plan.level_rows[0][-1] == n - 1  # last row has no upper deps
+
+
+class TestGSLikeSweep:
+    def test_matches_sequential_gauss_seidel(self):
+        crs, _ = poisson2d(6)
+        n, ptr, cols, vals, diag = local_block(crs)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: np.ones(r.size, bool))
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(n).astype(np.float32)
+        x_plan = rng.standard_normal(n).astype(np.float32)
+        x_seq = x_plan.copy()
+        # Sequential reference sweep.
+        for i in range(n):
+            c, v = crs.row(i)
+            x_seq[i] = np.float32(
+                (b[i] - np.sum(v.astype(np.float32) * x_seq[c])) / np.float32(diag[i])
+            )
+        plan.run(x_plan, b, diag=diag)
+        # Structurally symmetric matrix: level order == sequential result.
+        np.testing.assert_allclose(x_plan, x_seq, rtol=1e-5)
+
+    def test_halo_columns_are_constants(self):
+        # Columns >= n reference the halo suffix of x_full, never updated.
+        n = 2
+        ptr = np.array([0, 1, 2])
+        cols = np.array([2, 3])  # both rows reference halo cells
+        vals = np.array([1.0, 2.0], dtype=np.float32)
+        plan = build_sweep(n, ptr, cols, vals, include=lambda r, c: np.ones(r.size, bool))
+        x_full = np.array([0.0, 0.0, 10.0, 20.0], dtype=np.float32)
+        b = np.array([12.0, 44.0], dtype=np.float32)
+        plan.run(x_full, b, diag=np.array([2.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(x_full[:2], [1.0, 2.0])
+        np.testing.assert_allclose(x_full[2:], [10.0, 20.0])  # halo untouched
+        # One level: no dependencies through halo columns.
+        assert plan.schedule.num_levels == 1
+
+
+class TestSweepCost:
+    def test_cycles_positive_and_level_dependent(self):
+        crs, _ = poisson2d(8)
+        n, ptr, cols, vals, diag = local_block(crs)
+        fwd = build_sweep(n, ptr, cols, vals, include=lambda r, c: c < r)
+        model = CycleModel()
+        c = fwd.cycles(model, MK2)
+        assert c > 0
+        # More levels (more barriers) on the same work costs more.
+        diag_only = build_sweep(n, ptr, cols, vals, include=lambda r, c: np.zeros(r.size, bool))
+        assert diag_only.schedule.num_levels == 1
+        assert fwd.schedule.num_levels > 1
+
+    def test_empty_block(self):
+        plan = build_sweep(0, np.array([0]), np.array([]), np.array([]),
+                           include=lambda r, c: np.ones(r.size, bool))
+        x = np.zeros(0, dtype=np.float32)
+        plan.run(x, np.zeros(0, dtype=np.float32))
+        assert plan.schedule.num_levels == 0

@@ -1,0 +1,100 @@
+"""Tests for verbose progress callbacks, the energy model, and symmetric GS."""
+
+import numpy as np
+import pytest
+
+from repro.machine import IPUDevice
+from repro.solvers import solve
+from repro.sparse import poisson2d
+
+
+@pytest.fixture
+def system():
+    crs, dims = poisson2d(10)
+    b = np.random.default_rng(6).standard_normal(crs.n)
+    return crs, dims, b
+
+
+class TestVerboseCallbacks:
+    def test_bicgstab_progress_printed(self, system, capsys):
+        crs, dims, b = system
+        solve(crs, b, {"solver": "bicgstab", "tol": 1e-5, "verbose": 5},
+              grid_dims=dims, tiles_per_ipu=4)
+        out = capsys.readouterr().out
+        assert "[bicgstab] iteration 5" in out
+
+    def test_mpir_progress_printed(self, system, capsys):
+        crs, dims, b = system
+        solve(
+            crs, b,
+            {"solver": "mpir", "precision": "dw", "tol": 1e-11, "max_outer": 5,
+             "verbose": 1,
+             "inner": {"solver": "bicgstab", "fixed_iterations": 30,
+                        "record_history": False, "tol": 5e-7,
+                        "preconditioner": {"solver": "ilu0"}}},
+            grid_dims=dims, tiles_per_ipu=4,
+        )
+        out = capsys.readouterr().out
+        assert "[mpir] refinement 1" in out
+
+    def test_silent_by_default(self, system, capsys):
+        crs, dims, b = system
+        solve(crs, b, {"solver": "bicgstab", "tol": 1e-5},
+              grid_dims=dims, tiles_per_ipu=4)
+        assert "[bicgstab]" not in capsys.readouterr().out
+
+
+class TestEnergyModel:
+    def test_energy_scales_with_cycles_and_ipus(self):
+        dev = IPUDevice(num_ipus=2, tiles_per_ipu=4)
+        dev.profiler.record("x", int(dev.spec.clock_hz))  # 1 second
+        assert dev.energy_j() == pytest.approx(2 * IPUDevice.WATTS_PER_IPU)
+
+    def test_matches_paper_m2000_power(self):
+        # Four IPUs at the measured 420 W box figure.
+        dev = IPUDevice(num_ipus=4, tiles_per_ipu=2)
+        dev.profiler.record("x", int(dev.spec.clock_hz))
+        assert dev.energy_j() == pytest.approx(420.0)
+
+
+class TestSymmetricGaussSeidel:
+    def test_directions_converge(self, system):
+        crs, dims, b = system
+        for direction in ("forward", "backward", "symmetric"):
+            res = solve(
+                crs, b, {"solver": "gauss_seidel", "sweeps": 100,
+                          "direction": direction},
+                grid_dims=dims, tiles_per_ipu=4,
+            )
+            assert res.relative_residual < 1e-2, direction
+
+    def test_symmetric_beats_forward_per_sweep_pair(self, system):
+        crs, dims, b = system
+        # Equal work: 50 symmetric sweeps = 100 directional half-sweeps.
+        sym = solve(crs, b, {"solver": "gauss_seidel", "sweeps": 50,
+                             "direction": "symmetric"},
+                    grid_dims=dims, tiles_per_ipu=4)
+        fwd = solve(crs, b, {"solver": "gauss_seidel", "sweeps": 100},
+                    grid_dims=dims, tiles_per_ipu=4)
+        assert sym.relative_residual <= fwd.relative_residual * 2
+
+    def test_sgs_preconditions_cg(self, system):
+        # SGS is symmetric — a legal CG preconditioner.
+        crs, dims, b = system
+        res = solve(
+            crs, b,
+            {"solver": "cg", "tol": 1e-6,
+             "preconditioner": {"solver": "gauss_seidel", "sweeps": 1,
+                                 "direction": "symmetric"}},
+            grid_dims=dims, tiles_per_ipu=4,
+        )
+        plain = solve(crs, b, {"solver": "cg", "tol": 1e-6},
+                      grid_dims=dims, tiles_per_ipu=4)
+        assert res.relative_residual < 1e-5
+        assert res.iterations < plain.iterations
+
+    def test_unknown_direction_rejected(self, system):
+        crs, dims, b = system
+        with pytest.raises(ValueError, match="direction"):
+            solve(crs, b, {"solver": "gauss_seidel", "direction": "sideways"},
+                  grid_dims=dims, tiles_per_ipu=4)

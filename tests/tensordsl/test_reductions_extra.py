@@ -1,0 +1,71 @@
+"""Tests for the max/min reductions and infinity norm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import IPUDevice
+from repro.tensordsl import TensorContext, Type
+
+
+@pytest.fixture
+def ctx():
+    return TensorContext(IPUDevice(tiles_per_ipu=4))
+
+
+class TestMaxMinReductions:
+    def test_max_min(self, ctx):
+        data = np.array([3.0, -7.5, 2.0, 5.0, -1.0, 0.5, 4.0, -2.0])
+        x = ctx.tensor((8,), data=data)
+        mx, mn = x.max(), x.min()
+        ctx.run()
+        assert mx.value() == 5.0
+        assert mn.value() == -7.5
+
+    def test_norm_inf(self, ctx):
+        x = ctx.tensor((8,), data=np.array([3.0, -7.5, 2.0, 5.0, -1.0, 0.5, 4.0, -2.0]))
+        n = x.norm_inf().materialize()
+        ctx.run()
+        assert n.value() == 7.5
+
+    def test_max_of_expression_fused(self, ctx):
+        from repro.graph import collect_stats
+
+        x = ctx.tensor((16,), data=np.linspace(-3, 3, 16))
+        m = (x * x).max()  # max |x|² without materializing x*x
+        stats = collect_stats(ctx.root)
+        assert stats.compute_sets == 2  # partial + combine only
+        ctx.run()
+        assert m.value() == pytest.approx(9.0)
+
+    def test_dw_max_keeps_precision(self, ctx):
+        data = np.array([1.0, 1.0 + 1e-10, 1.0 - 1e-10, 0.5])
+        x = ctx.tensor((4,), dtype=Type.DOUBLEWORD, data=data)
+        m = x.max()
+        ctx.run()
+        assert m.value() == pytest.approx(1.0 + 1e-10, abs=1e-14)
+
+    def test_unknown_op_rejected(self, ctx):
+        x = ctx.tensor((4,))
+        with pytest.raises(ValueError, match="reduction op"):
+            x.reduce(op="prod")
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                              allow_subnormal=False, width=32),
+                    min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numpy_property(self, values):
+        ctx = TensorContext(IPUDevice(tiles_per_ipu=4))
+        arr = np.array(values, dtype=np.float32)
+        x = ctx.tensor((arr.size,), data=arr.astype(np.float64))
+        mx, mn = x.max(), x.min()
+        ctx.run()
+        assert mx.value() == arr.max()
+        assert mn.value() == arr.min()
+
+    def test_single_tile_subset(self, ctx):
+        x = ctx.tensor((6,), data=np.arange(6, dtype=np.float64), tile_ids=[1, 2])
+        m = x.max()
+        ctx.run()
+        assert m.value() == 5.0

@@ -1,0 +1,44 @@
+"""Tests for the SpMV bench runner and SolveStats record-keeping."""
+
+import pytest
+
+from repro.bench import ipu_spmv_run
+from repro.solvers.base import SolveStats
+from repro.sparse import poisson3d
+
+
+class TestIpuSpmvRun:
+    def test_breakdown_consistent(self):
+        crs, dims = poisson3d(8)
+        run = ipu_spmv_run(crs, grid_dims=dims, num_ipus=1, tiles_per_ipu=8)
+        assert run.num_tiles == 8
+        assert run.total_cycles > 0
+        assert run.compute_cycles + run.exchange_cycles <= run.total_cycles
+        assert run.seconds == pytest.approx(run.total_cycles / 1.33e9)
+        assert 0 < run.compute_seconds < run.seconds
+
+    def test_repeats_amortize_fixed_costs(self):
+        crs, dims = poisson3d(8)
+        one = ipu_spmv_run(crs, grid_dims=dims, tiles_per_ipu=8, repeats=1)
+        ten = ipu_spmv_run(crs, grid_dims=dims, tiles_per_ipu=8, repeats=10)
+        # Per-SpMV cycles agree within the loop-control overhead.
+        assert ten.total_cycles == pytest.approx(one.total_cycles, rel=0.05)
+
+    def test_deterministic(self):
+        crs, dims = poisson3d(6)
+        a = ipu_spmv_run(crs, grid_dims=dims, tiles_per_ipu=4)
+        b = ipu_spmv_run(crs, grid_dims=dims, tiles_per_ipu=4)
+        assert a.total_cycles == b.total_cycles
+
+
+class TestSolveStats:
+    def test_record_and_properties(self):
+        s = SolveStats()
+        assert s.total_iterations == 0
+        assert s.final_residual != s.final_residual  # NaN when empty
+        s.record(1, 0.5)
+        s.record(2, 0.25)
+        assert s.iterations == [1, 2]
+        assert s.final_residual == 0.25
+        assert s.total_iterations == 2
+        assert "0.25" in repr(s) or "2.5" in repr(s)

@@ -1,0 +1,57 @@
+"""CLI smoke tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveCommand:
+    def test_solve_poisson_inline_config(self, capsys):
+        rc = main([
+            "solve", "--matrix", "poisson2d:8",
+            "--config", '{"solver": "jacobi", "sweeps": 30}',
+            "--tiles", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relative residual" in out
+        assert "n=64" in out
+
+    def test_solve_with_config_file_and_output(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"solver": "bicgstab", "tol": 1e-5,
+                                   "preconditioner": {"solver": "ilu0"}}))
+        rhs = tmp_path / "b.npy"
+        np.save(rhs, np.ones(64))
+        out_file = tmp_path / "x.npy"
+        rc = main([
+            "solve", "--matrix", "poisson2d:8", "--config", str(cfg),
+            "--rhs", str(rhs), "--output", str(out_file), "--tiles", "4",
+            "--profile",
+        ])
+        assert rc == 0
+        x = np.load(out_file)
+        assert x.shape == (64,)
+        assert "cycle breakdown" in capsys.readouterr().out
+
+    def test_generator_specs(self, capsys):
+        rc = main([
+            "solve", "--matrix", "g3:16",
+            "--config", '{"solver": "jacobi", "sweeps": 5}',
+            "--tiles", "4",
+        ])
+        assert rc == 0
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--matrix", "nonsense:3", "--config", "{}"])
+
+
+class TestInfoCommand:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1472" in out and "612 kB" in out
