@@ -4,11 +4,16 @@ The paper holds a 200³ Poisson problem (~58 M entries) fixed and sweeps
 1–16 IPUs, reporting speedup with halo exchange (blue) and compute-only
 (orange).  We run the same sweep at reduced size with the same
 tiles-per-IPU proportionality and report both speedup curves.
+
+Also the home of the graph-compiler acceptance check: with all passes
+enabled the same SpMV must execute strictly fewer exchange phases and
+total cycles than the no-pass baseline, with bit-identical results.
 """
 
-import pytest
+import numpy as np
 
 from repro.bench import ipu_spmv_run, print_series, save_result
+from repro.solvers import solve
 from repro.sparse import poisson3d
 
 GRID = 40  # 64,000 rows / 438,400 entries — laptop-scale stand-in for 200³
@@ -45,7 +50,15 @@ def test_fig5_strong_scaling(benchmark):
         ["speedup (with halo)", "speedup (compute only)", "cycles", "exchange cycles"],
         points,
     )
-    save_result("fig5_strong_scaling", text)
+    save_result(
+        "fig5_strong_scaling",
+        text,
+        data={
+            "grid": GRID,
+            "tiles_per_ipu": TILES_PER_IPU,
+            "runs": {str(k): runs[k].to_dict() for k in IPUS},
+        },
+    )
 
     total_speedup = base.total_cycles / runs[16].total_cycles
     compute_speedup = base.compute_cycles / runs[16].compute_cycles
@@ -64,3 +77,37 @@ def test_fig5_exchange_grows_relative_to_compute(benchmark):
     # the "fundamental property of domain decomposition" (Sec. VI-B).
     frac = {k: runs[k].exchange_cycles / runs[k].total_cycles for k in IPUS}
     assert frac[16] > frac[1]
+
+
+def test_fig5_passes_beat_no_pass_baseline():
+    """Graph-compiler acceptance: the optimized SpMV schedule executes
+    strictly fewer exchange phases and total cycles than the raw one."""
+    crs, dims = poisson3d(16)
+    opt = ipu_spmv_run(crs, grid_dims=dims, num_ipus=2, tiles_per_ipu=TILES_PER_IPU)
+    raw = ipu_spmv_run(crs, grid_dims=dims, num_ipus=2, tiles_per_ipu=TILES_PER_IPU,
+                       optimize=False)
+    assert opt.exchange_phases < raw.exchange_phases
+    assert opt.total_cycles < raw.total_cycles
+    assert opt.compile_proxy < opt.source_compile_proxy
+    save_result(
+        "fig5_compile_ablation",
+        f"Fig. 5 SpMV, optimized vs no-pass (poisson3d:16, 2 IPUs):\n"
+        f"  exchange phases: {opt.exchange_phases} vs {raw.exchange_phases}\n"
+        f"  total cycles:    {opt.total_cycles} vs {raw.total_cycles}\n"
+        f"  compile proxy:   {opt.compile_proxy} (source {opt.source_compile_proxy})",
+        data={"optimized": opt.to_dict(), "no_pass": raw.to_dict()},
+    )
+
+
+def test_fig5_passes_are_bit_identical_end_to_end():
+    """Same CG solve with and without the pass pipeline: fewer cycles,
+    identical bits in the solution and the residual."""
+    crs, dims = poisson3d(12)
+    b = np.ones(crs.n)
+    cfg = '{"solver": "cg", "tol": 1e-8, "max_iterations": 60}'
+    opt = solve(crs, b, cfg, tiles_per_ipu=8, grid_dims=dims, optimize=True)
+    raw = solve(crs, b, cfg, tiles_per_ipu=8, grid_dims=dims, optimize=False)
+    assert opt.engine.exchanges < raw.engine.exchanges
+    assert opt.cycles < raw.cycles
+    np.testing.assert_array_equal(opt.x, raw.x)
+    assert opt.relative_residual == raw.relative_residual

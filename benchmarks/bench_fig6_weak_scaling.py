@@ -7,8 +7,6 @@ regardless of system size.  Same sweep here at reduced scale: the grid's z
 extent grows with the IPU count, so rows/tile stays constant.
 """
 
-import pytest
-
 from repro.bench import ipu_spmv_run, print_series, save_result
 from repro.sparse import poisson3d
 
@@ -45,7 +43,15 @@ def test_fig6_weak_scaling(benchmark):
         ["rows", "cycles", "efficiency", "exchange cycles"],
         points,
     )
-    save_result("fig6_weak_scaling", text)
+    save_result(
+        "fig6_weak_scaling",
+        text,
+        data={
+            "base_grid": BASE,
+            "tiles_per_ipu": TILES_PER_IPU,
+            "runs": {str(k): runs[k].to_dict() for k in IPUS},
+        },
+    )
 
     # Paper shape: ideal weak scaling — time stays (nearly) flat.
     for ipus in IPUS[1:]:

@@ -12,8 +12,6 @@ Table II (SpMV is bandwidth-bound; the model carries the published STREAM
 bandwidths plus launch overheads).
 """
 
-import pytest
-
 from repro.baselines import H100_SXM, IPU_M2000, XEON_8470Q, energy_j, spmv_time
 from repro.bench import ipu_spmv_run, print_table, save_result
 from repro.sparse.suitesparse import (
@@ -51,6 +49,7 @@ def run_all():
             "ipu_s": run.seconds,
             "cpu_s": t_cpu,
             "gpu_s": t_gpu,
+            "ipu_run": run.to_dict(),
         }
     return out
 
@@ -72,7 +71,7 @@ def test_fig7_spmv_platforms(benchmark):
         ["Matrix", "IPU", "GPU", "CPU", "IPU vs GPU", "IPU vs CPU"],
         rows,
     )
-    save_result("fig7_spmv_platforms", text)
+    save_result("fig7_spmv_platforms", text, data=data)
 
     for name, d in data.items():
         # Per-tile parity must actually hold (within 40%).

@@ -21,8 +21,6 @@ Method (consistent-scale comparison, see EXPERIMENTS.md):
 """
 
 import numpy as np
-import pytest
-
 from repro.baselines import (
     H100_SXM,
     XEON_8470Q,
@@ -88,9 +86,13 @@ def run_all():
             levels = int(ref["num_levels"] * (pn / crs.n) ** (1.0 / dim))
         t_cpu = ref["iterations"] * solver_iteration_time(XEON_8470Q, pn, pnnz, levels)
         t_gpu = ref["iterations"] * solver_iteration_time(H100_SXM, pn, pnnz, levels)
+        stats = ipu.compile_stats
         out[name] = {
             "ipu_s": ipu.seconds,
             "ipu_resid": ipu.relative_residual,
+            "ipu_cycles": ipu.cycles,
+            "ipu_iterations": ipu.iterations,
+            "compile_proxy": stats.compile_proxy if stats else None,
             "cpu_s": t_cpu,
             "gpu_s": t_gpu,
             "ref_iters": ref["iterations"],
@@ -117,7 +119,7 @@ def test_fig8_solver_platforms(benchmark):
         ["Matrix", "IPU", "GPU", "CPU", "IPU vs GPU", "IPU vs CPU", "IPU resid"],
         rows,
     )
-    save_result("fig8_solver_platforms", text)
+    save_result("fig8_solver_platforms", text, data=data)
 
     for name, d in data.items():
         assert d["ipu_resid"] < 10 * TOL, f"{name}: IPU did not converge"

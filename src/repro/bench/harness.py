@@ -2,13 +2,16 @@
 
 Each ``benchmarks/bench_*.py`` target regenerates one artifact of the
 paper's evaluation section: it runs the experiment, prints the same rows or
-series the paper reports, saves a text artifact under
-``benchmarks/results/``, and asserts the *shape* of the result (who wins,
-by roughly what factor, where crossovers fall).
+series the paper reports, saves a text artifact (and, when structured data
+is provided, a machine-readable JSON twin) under ``benchmarks/results/``,
+and asserts the *shape* of the result (who wins, by roughly what factor,
+where crossovers fall).  The JSON artifacts let successive PRs track the
+cycle-count trajectory of the Fig. 5–8 benches without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,11 +48,21 @@ def print_series(title: str, x_label: str, y_labels, points) -> str:
     return print_table(title, headers, points)
 
 
-def save_result(name: str, text: str) -> Path:
-    """Persist a bench artifact for EXPERIMENTS.md."""
+def save_result(name: str, text: str, data=None) -> Path:
+    """Persist a bench artifact for EXPERIMENTS.md.
+
+    ``data`` (any JSON-serializable structure) additionally writes
+    ``benchmarks/results/<name>.json`` so later PRs can diff cycle counts
+    mechanically.  The JSON is deterministic — no timestamps — so reruns
+    only change it when the measured numbers change.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps({"bench": name, "data": data}, indent=2, sort_keys=True) + "\n"
+        )
     return path
 
 
@@ -62,15 +75,34 @@ class SpMVRun:
     exchange_cycles: int
     seconds: float
     num_tiles: int
+    exchange_phases: int = 0  # engine-counted exchange supersteps
+    compile_proxy: int = 0  # optimized-schedule compile-time proxy
+    source_compile_proxy: int = 0  # pre-pass schedule compile-time proxy
 
     @property
     def compute_seconds(self) -> float:
         return self.seconds * self.compute_cycles / max(self.total_cycles, 1)
 
+    def to_dict(self) -> dict:
+        return {
+            "total_cycles": self.total_cycles,
+            "compute_cycles": self.compute_cycles,
+            "exchange_cycles": self.exchange_cycles,
+            "exchange_phases": self.exchange_phases,
+            "seconds": self.seconds,
+            "num_tiles": self.num_tiles,
+            "compile_proxy": self.compile_proxy,
+            "source_compile_proxy": self.source_compile_proxy,
+        }
+
 
 def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16,
-                 repeats: int = 1) -> SpMVRun:
-    """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown."""
+                 repeats: int = 1, optimize: bool = True) -> SpMVRun:
+    """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown.
+
+    ``optimize=False`` executes the raw schedule without the graph
+    compiler's passes — the no-pass baseline of the compile ablations.
+    """
     device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
     ctx = TensorContext(device)
     A = DistributedMatrix(ctx, crs, grid_dims=grid_dims)
@@ -81,7 +113,8 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         A.spmv(x, y)
     else:
         ctx.Repeat(repeats, lambda: A.spmv(x, y))
-    ctx.run()
+    engine = ctx.run(optimize=optimize)
+    compiled = engine.compiled
     prof = device.profiler
     total = prof.total_cycles // repeats
     compute = prof.category("spmv") // repeats
@@ -92,4 +125,7 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         exchange_cycles=exchange,
         seconds=device.spec.seconds(total),
         num_tiles=device.num_tiles,
+        exchange_phases=engine.exchanges,
+        compile_proxy=compiled.stats.compile_proxy,
+        source_compile_proxy=compiled.source_stats.compile_proxy,
     )

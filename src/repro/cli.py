@@ -10,6 +10,10 @@ Examples::
     python -m repro.cli solve --matrix path/to/system.mtx --rhs rhs.npy \\
         --config solver.json --ipus 4 --tiles 32
 
+    # Inspect what the graph compiler does to a solver program
+    python -m repro.cli compile-report --matrix poisson2d:8 \\
+        --config '{"solver": "cg", "tol": 1e-6}' --tree
+
     # Show the device spec sheet
     python -m repro.cli info
 """
@@ -83,9 +87,40 @@ def _cmd_solve(args) -> int:
         print("cycle breakdown:")
         for cat, frac in sorted(result.profile.items(), key=lambda kv: -kv[1]):
             print(f"  {cat:<22s} {frac:6.1%}")
+        if result.compiled is not None:
+            print(result.compile_report)
     if args.output:
         np.save(args.output, result.x)
         print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_compile_report(args) -> int:
+    """Lower a solver program through the pass pipeline and show the report."""
+    from repro.solvers import compile_solve
+
+    matrix, dims = _load_matrix(args.matrix)
+    b = np.random.default_rng(args.seed).standard_normal(matrix.n)
+    compiled = compile_solve(
+        matrix,
+        b,
+        args.config,
+        optimize=not args.no_opt,
+        num_ipus=args.ipus,
+        tiles_per_ipu=args.tiles,
+        grid_dims=dims,
+    )
+    src, opt = compiled.source_stats, compiled.stats
+    print(f"matrix:               n={matrix.n} nnz={matrix.nnz}")
+    print(f"source schedule:      {src.steps} steps, {src.compute_sets} compute sets, "
+          f"{src.exchanges} exchanges, {src.region_copies} copies")
+    print(f"optimized schedule:   {opt.steps} steps, {opt.compute_sets} compute sets, "
+          f"{opt.exchanges} exchanges, {opt.region_copies} copies")
+    print(f"compile proxy:        {src.compile_proxy} -> {opt.compile_proxy}")
+    print(compiled.report.render())
+    if args.tree:
+        print("\noptimized program:")
+        print(compiled.describe(max_depth=args.depth))
     return 0
 
 
@@ -119,6 +154,21 @@ def main(argv=None) -> int:
     p_solve.add_argument("--profile", action="store_true", help="print the cycle breakdown")
     p_solve.add_argument("--output", help="write the solution vector to a .npy file")
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_rep = sub.add_parser("compile-report",
+                           help="show what the graph compiler does to a solver program")
+    p_rep.add_argument("--matrix", required=True,
+                       help="poisson3d:N | poisson2d:N | g3|afshell|geo|hook[:size] | file.mtx")
+    p_rep.add_argument("--config", required=True,
+                       help="solver config: JSON string or path to a .json file")
+    p_rep.add_argument("--ipus", type=int, default=1)
+    p_rep.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--no-opt", action="store_true",
+                       help="freeze the raw schedule (skip optimization passes)")
+    p_rep.add_argument("--tree", action="store_true", help="print the optimized step tree")
+    p_rep.add_argument("--depth", type=int, default=8, help="step-tree depth limit")
+    p_rep.set_defaults(fn=_cmd_compile_report)
 
     p_info = sub.add_parser("info", help="print the simulated device spec")
     p_info.set_defaults(fn=_cmd_info)

@@ -9,9 +9,11 @@ package provides those artifacts; the DSLs of :mod:`repro.codedsl` and
 - :mod:`repro.graph.variable` — tensors with explicit tile mappings,
 - :mod:`repro.graph.codelet` — codelets, vertices, compute sets,
 - :mod:`repro.graph.program` — the execution-schedule step types,
-- :mod:`repro.graph.engine` — executes a schedule on the machine model,
-- :mod:`repro.graph.compiler` — graph statistics & lowering (the
-  compile-time proxy used by the ablation benches).
+- :mod:`repro.graph.engine` — executes a compiled program on the machine model,
+- :mod:`repro.graph.compiler` — graph statistics (the compile-time proxy
+  used by the ablation benches),
+- :mod:`repro.graph.passes` — the pass-based graph compiler: optimization
+  pipeline lowering a schedule into a :class:`CompiledProgram`.
 """
 
 from repro.graph.variable import Interval, Variable
@@ -29,6 +31,14 @@ from repro.graph.program import (
 )
 from repro.graph.engine import Engine
 from repro.graph.compiler import GraphStats, collect_stats, describe
+from repro.graph.passes import (
+    CompiledProgram,
+    Pass,
+    PassManager,
+    PassReport,
+    compile_program,
+    default_passes,
+)
 
 __all__ = [
     "Interval",
@@ -49,4 +59,10 @@ __all__ = [
     "GraphStats",
     "collect_stats",
     "describe",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "CompiledProgram",
+    "compile_program",
+    "default_passes",
 ]

@@ -110,7 +110,8 @@ def describe(step: Step, max_depth: int = 8) -> str:
             lines.append(pad + "...")
             return
         if isinstance(s, Sequence):
-            lines.append(f"{pad}Sequence[{len(s.steps)}]")
+            scope = f" label={s.label!r}" if s.label else ""
+            lines.append(f"{pad}Sequence[{len(s.steps)}]{scope}")
             for child in s.steps:
                 walk(child, depth + 1)
         elif isinstance(s, Execute):
@@ -123,10 +124,12 @@ def describe(step: Step, max_depth: int = 8) -> str:
             nbytes = sum(rc.size * rc.src_var.element_bytes() for rc in s.copies)
             lines.append(f"{pad}Exchange({len(s.copies)} region copies, {nbytes} B)")
         elif isinstance(s, Repeat):
-            lines.append(f"{pad}Repeat(x{s.count})")
+            scope = f" label={s.label!r}" if s.label else ""
+            lines.append(f"{pad}Repeat(x{s.count}){scope}")
             walk(s.body, depth + 1)
         elif isinstance(s, RepeatWhile):
-            lines.append(f"{pad}RepeatWhile({s.cond.name}, max={s.max_iterations})")
+            scope = f" label={s.label!r}" if s.label else ""
+            lines.append(f"{pad}RepeatWhile({s.cond.name}, max={s.max_iterations}){scope}")
             walk(s.body, depth + 1)
         elif isinstance(s, If):
             lines.append(f"{pad}If({s.cond.name})")

@@ -13,6 +13,7 @@ import heapq
 
 import numpy as np
 
+from repro.graph.passes.base import CompiledProgram
 from repro.graph.program import (
     Execute,
     Exchange,
@@ -35,9 +36,22 @@ CONTROL_CYCLES = 8
 
 
 class Engine:
-    """Executes program steps against a :class:`~repro.graph.Graph`."""
+    """Executes a :class:`CompiledProgram` (or raw steps) on the machine model.
 
-    def __init__(self, graph):
+    The supported construction is ``Engine(compiled_program)`` followed by
+    ``engine.run()`` — the engine only ever sees schedules the pass pipeline
+    has lowered, like ``poplar::Engine`` only ever loads compiled
+    executables.  ``Engine(graph)`` + ``engine.run(step)`` is kept as a thin
+    deprecated path for callers that still hand-build raw step trees.
+    """
+
+    def __init__(self, program):
+        if isinstance(program, CompiledProgram):
+            self.compiled = program
+            graph = program.graph
+        else:  # deprecated raw-graph path
+            self.compiled = None
+            graph = program
         self.graph = graph
         self.device = graph.device
         self.profiler = graph.device.profiler
@@ -66,22 +80,36 @@ class Engine:
 
     # -- execution ---------------------------------------------------------------------
 
-    def run(self, step: Step) -> None:
-        """Execute one step (typically the whole program Sequence)."""
+    def run(self, step: Step | None = None) -> None:
+        """Execute one step; with no argument, the compiled program's root."""
+        if step is None:
+            if self.compiled is None:
+                raise ValueError("Engine(graph) has no compiled program; pass a step")
+            step = self.compiled.root
         if isinstance(step, Sequence):
-            for s in step.steps:
-                self.run(s)
+            if step.label is not None:
+                with self.profiler.step(step.label):
+                    for s in step.steps:
+                        self.run(s)
+            else:
+                for s in step.steps:
+                    self.run(s)
         elif isinstance(step, Execute):
             self._run_compute_set(step)
         elif isinstance(step, Exchange):
             self._run_exchange(step)
         elif isinstance(step, Repeat):
-            for _ in range(step.count):
-                self.loop_iterations += 1
-                self.profiler.record("control", CONTROL_CYCLES)
-                self.run(step.body)
+            if step.label is not None:
+                with self.profiler.step(step.label):
+                    self._run_repeat(step)
+            else:
+                self._run_repeat(step)
         elif isinstance(step, RepeatWhile):
-            self._run_repeat_while(step)
+            if step.label is not None:
+                with self.profiler.step(step.label):
+                    self._run_repeat_while(step)
+            else:
+                self._run_repeat_while(step)
         elif isinstance(step, If):
             self.profiler.record("control", CONTROL_CYCLES)
             if self.read_scalar(step.cond) != 0.0:
@@ -93,6 +121,12 @@ class Engine:
             step.fn(self)
         else:
             raise TypeError(f"unknown program step: {step!r}")
+
+    def _run_repeat(self, step: Repeat) -> None:
+        for _ in range(step.count):
+            self.loop_iterations += 1
+            self.profiler.record("control", CONTROL_CYCLES)
+            self.run(step.body)
 
     # -- compute phases -----------------------------------------------------------------
 
@@ -130,7 +164,9 @@ class Engine:
     def _run_exchange(self, step: Exchange) -> None:
         self.exchanges += 1
         transfers = []
-        local_cycles = 0
+        # On-tile memcpys serialize on their tile's st64 path: costs are
+        # summed per tile, then max-reduced across tiles (BSP semantics).
+        local_per_tile: dict[int, int] = {}
         for rc in step.copies:
             src_sh = rc.src_var.shard(rc.src_tile)
             src_hi = src_sh.data[rc.src_offset : rc.src_offset + rc.size]
@@ -149,13 +185,13 @@ class Engine:
                     remote_dests.append(dst_tile)
                 else:
                     # On-tile memcpy: 8 bytes per cycle through the st64 path.
-                    local_cycles = max(
-                        local_cycles, (rc.size * rc.src_var.element_bytes() + 7) // 8
-                    )
+                    cost = (rc.size * rc.src_var.element_bytes() + 7) // 8
+                    local_per_tile[dst_tile] = local_per_tile.get(dst_tile, 0) + cost
             if remote_dests:
                 nbytes = rc.size * rc.src_var.element_bytes()
                 transfers.append(Transfer(rc.src_tile, tuple(remote_dests), nbytes))
         phase = self.device.fabric.run(transfers)
+        local_cycles = max(local_per_tile.values(), default=0)
         self.profiler.record(step.name, phase.cycles + local_cycles)
 
     # -- loops -------------------------------------------------------------------------

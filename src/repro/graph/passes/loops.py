@@ -1,0 +1,56 @@
+"""Loop-invariant hoisting: normalize loop bodies once, simplify trivial loops.
+
+The graph compiler compiles a loop *body* a single time regardless of the
+trip count (Sec. III-C) — so all schedule normalization must happen outside
+the iteration structure, and bodies shared between several loops must be
+lowered once and shared in the output.  The bottom-up rewriter's memo table
+provides the compile-once guarantee; this pass adds the loop-structure
+simplifications that only become visible once bodies are normalized:
+
+- ``Repeat(0, body)`` and ``Repeat(n, <empty>)`` are dead and removed,
+- ``Repeat(1, body)`` unwraps to the body (one fewer control sync),
+- ``Repeat(m, Repeat(n, body))`` collapses to ``Repeat(m*n, body)`` when the
+  inner loop is the whole body — the ``m`` outer control charges disappear
+  and the body is compiled once instead of appearing behind two loop steps.
+
+All rewrites preserve the executed compute/exchange steps and their order
+bit-for-bit; only loop-control overhead is removed.
+"""
+
+from __future__ import annotations
+
+from repro.graph.passes.base import Pass, rewrite_bottom_up
+from repro.graph.passes.flatten import _is_empty
+from repro.graph.program import Repeat, Sequence, Step
+
+__all__ = ["HoistLoopInvariants"]
+
+
+def _sole_step(step: Step) -> Step:
+    """Unwrap unlabeled single-step sequences to the step itself."""
+    while isinstance(step, Sequence) and step.label is None and len(step.steps) == 1:
+        step = step.steps[0]
+    return step
+
+
+class HoistLoopInvariants(Pass):
+    """Simplify counted loops; bodies are normalized once and shared."""
+
+    name = "hoist-loop-invariants"
+
+    def run(self, root: Step) -> Step:
+        # One shared memo: a body reached from several loops is rewritten
+        # exactly once and the normalized object is shared in the output.
+        return rewrite_bottom_up(root, self._local, memo={})
+
+    def _local(self, step: Step) -> Step:
+        if not isinstance(step, Repeat):
+            return step
+        if step.count <= 0 or _is_empty(step.body):
+            return Sequence([])
+        if step.count == 1 and step.label is None:
+            return step.body
+        inner = _sole_step(step.body)
+        if isinstance(inner, Repeat) and inner.label is None and not _is_empty(inner.body):
+            return Repeat(step.count * inner.count, inner.body, label=step.label)
+        return step

@@ -32,9 +32,16 @@ class Step:
 
 @dataclass
 class Sequence(Step):
-    """Run ``steps`` in order."""
+    """Run ``steps`` in order.
+
+    A ``label`` turns the sequence into a named profiler scope: the engine
+    attributes the cycles of everything inside it to the ``a/b/c`` step path
+    (the Table IV hierarchical breakdown).  Labeled sequences are scope
+    boundaries — the compiler never flattens them away.
+    """
 
     steps: list = field(default_factory=list)
+    label: str | None = None
 
     def add(self, step: Step) -> Step:
         self.steps.append(step)
@@ -74,10 +81,15 @@ class Exchange(Step):
 
 @dataclass
 class Repeat(Step):
-    """Run ``body`` a fixed ``count`` times."""
+    """Run ``body`` a fixed ``count`` times.
+
+    A ``label`` opens a profiler scope around the whole loop (all
+    iterations), so loop cycles show up as one path component.
+    """
 
     count: int
     body: Step
+    label: str | None = None
 
 
 @dataclass
@@ -93,6 +105,7 @@ class RepeatWhile(Step):
     body: Step
     max_iterations: int = 100_000
     check_before_first: bool = True
+    label: str | None = None
 
 
 @dataclass

@@ -7,7 +7,7 @@ Any solver can precondition any other.  Entry points:
 - the solver classes themselves for programmatic composition.
 """
 
-from repro.solvers.api import SolveResult, solve
+from repro.solvers.api import SolveResult, compile_solve, solve
 from repro.solvers.base import Solver, SolveStats
 from repro.solvers.bicgstab import PBiCGStab
 from repro.solvers.cg import ConjugateGradient
@@ -23,6 +23,7 @@ from repro.solvers.schur import SchurInterface
 
 __all__ = [
     "solve",
+    "compile_solve",
     "SolveResult",
     "Solver",
     "SolveStats",

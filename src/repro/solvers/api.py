@@ -1,8 +1,12 @@
 """Top-level convenience API: one call from matrix to solution.
 
 Wraps the whole pipeline — device, context, distribution, halo reordering,
-solver construction from JSON, symbolic execution, and concrete execution —
-behind :func:`solve`.  Examples and benchmarks go through this entry point.
+solver construction from JSON, symbolic execution, graph compilation, and
+concrete execution — behind :func:`solve`.  Examples and benchmarks go
+through this entry point.  The schedule is lowered exactly once through the
+pass pipeline (:mod:`repro.graph.passes`) into a
+:class:`~repro.graph.CompiledProgram`, which the engine executes;
+:func:`compile_solve` stops after lowering, for compile-report inspection.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.graph import CompiledProgram, Engine
 from repro.machine import IPUDevice
 from repro.solvers.base import SolveStats
 from repro.solvers.config import build_solver
@@ -18,7 +23,7 @@ from repro.sparse.crs import ModifiedCRS
 from repro.sparse.distribute import DistributedMatrix
 from repro.tensordsl import TensorContext, Type
 
-__all__ = ["solve", "SolveResult"]
+__all__ = ["solve", "compile_solve", "SolveResult"]
 
 
 @dataclass
@@ -33,13 +38,23 @@ class SolveResult:
     profile: dict = field(default_factory=dict)  # profiler category fractions
     engine: object = None
     solver: object = None
+    compiled: CompiledProgram | None = None  # the executed program artifact
 
     @property
     def iterations(self) -> int:
         return self.stats.total_iterations
 
+    @property
+    def compile_stats(self):
+        """Optimized-schedule :class:`GraphStats` (None on legacy results)."""
+        return self.compiled.stats if self.compiled is not None else None
 
-def solve(
+    @property
+    def compile_report(self) -> str:
+        return self.compiled.report.render() if self.compiled is not None else ""
+
+
+def _build_program(
     matrix: ModifiedCRS,
     b: np.ndarray,
     config,
@@ -50,14 +65,8 @@ def solve(
     x0: np.ndarray | None = None,
     device: IPUDevice | None = None,
     blockwise_halo: bool = True,
-) -> SolveResult:
-    """Solve ``A x = b`` with the solver described by ``config`` on a
-    simulated IPU device.
-
-    ``config`` is a dict / JSON string / path (see
-    :mod:`repro.solvers.config`).  ``grid_dims`` enables the structured
-    partitioner for stencil matrices.
-    """
+):
+    """Construct the full solver schedule; shared by solve/compile_solve."""
     if device is None:
         device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
     ctx = TensorContext(device)
@@ -72,8 +81,69 @@ def solve(
     if x0 is not None:
         xvec.write_global(np.asarray(x0, dtype=np.float64))
 
-    solver.solve_into(xvec, bvec)
-    engine = ctx.run()
+    # One profiler scope per solver phase: setup (factorizations, level-set
+    # analysis) and the iteration itself, so Profiler.by_path() yields the
+    # hierarchical Table IV breakdown instead of one "<toplevel>" bucket.
+    with ctx.scope(f"setup:{solver.name}"):
+        solver.setup()
+    with ctx.scope(f"solve:{solver.name}"):
+        solver.solve_into(xvec, bvec)
+    return ctx, solver, xvec, bvec, device
+
+
+def compile_solve(
+    matrix: ModifiedCRS,
+    b: np.ndarray,
+    config,
+    optimize: bool = True,
+    **kwargs,
+) -> CompiledProgram:
+    """Build and lower a solver program without executing it.
+
+    Returns the :class:`CompiledProgram` artifact — the CLI's
+    ``compile-report`` view and the ablation benches use this to measure
+    compile-time proxies through the real lowering pipeline.
+    """
+    ctx, _, _, _, _ = _build_program(matrix, b, config, **kwargs)
+    return ctx.compile(optimize=optimize)
+
+
+def solve(
+    matrix: ModifiedCRS,
+    b: np.ndarray,
+    config,
+    num_ipus: int = 1,
+    tiles_per_ipu: int = 16,
+    num_tiles: int | None = None,
+    grid_dims=None,
+    x0: np.ndarray | None = None,
+    device: IPUDevice | None = None,
+    blockwise_halo: bool = True,
+    optimize: bool = True,
+) -> SolveResult:
+    """Solve ``A x = b`` with the solver described by ``config`` on a
+    simulated IPU device.
+
+    ``config`` is a dict / JSON string / path (see
+    :mod:`repro.solvers.config`).  ``grid_dims`` enables the structured
+    partitioner for stencil matrices.  ``optimize=False`` skips the graph
+    compiler's optimization passes (the no-pass ablation baseline).
+    """
+    ctx, solver, xvec, bvec, device = _build_program(
+        matrix,
+        b,
+        config,
+        num_ipus=num_ipus,
+        tiles_per_ipu=tiles_per_ipu,
+        num_tiles=num_tiles,
+        grid_dims=grid_dims,
+        x0=x0,
+        device=device,
+        blockwise_halo=blockwise_halo,
+    )
+    compiled = ctx.compile(optimize=optimize)
+    engine = Engine(compiled)
+    engine.run()
 
     # Prefer the extended-precision solution when the solver kept one.
     if getattr(solver, "x_ext", None) is not None:
@@ -95,4 +165,5 @@ def solve(
         profile=prof.fractions(),
         engine=engine,
         solver=solver,
+        compiled=compiled,
     )

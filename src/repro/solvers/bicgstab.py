@@ -148,6 +148,8 @@ class PBiCGStab(Solver):
             # Fixed-burst mode (MPIR inner solves, preconditioner use): run a
             # set number of iterations but still take the early exits due to
             # convergence or singularity (Fig. 4 caption).
-            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body))
+            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
+                       label=f"{self.name}.iterate")
         else:
-            ctx.While(cont, body, max_iterations=self.max_iterations)
+            ctx.While(cont, body, max_iterations=self.max_iterations,
+                      label=f"{self.name}.iterate")

@@ -106,6 +106,8 @@ class ConjugateGradient(Solver):
                 ctx.callback(record)
 
         if self.fixed_iterations is not None:
-            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body))
+            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
+                       label=f"{self.name}.iterate")
         else:
-            ctx.While(cont, body, max_iterations=self.max_iterations)
+            ctx.While(cont, body, max_iterations=self.max_iterations,
+                      label=f"{self.name}.iterate")

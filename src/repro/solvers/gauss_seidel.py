@@ -95,4 +95,4 @@ class GaussSeidel(Solver):
         if self.sweeps == 1:
             sweep()
         else:
-            self.ctx.Repeat(self.sweeps, sweep)
+            self.ctx.Repeat(self.sweeps, sweep, label=f"{self.name}.sweeps")

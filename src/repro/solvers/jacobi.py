@@ -39,4 +39,4 @@ class Jacobi(Solver):
         if self.sweeps == 1:
             sweep()
         else:
-            self.ctx.Repeat(self.sweeps, sweep)
+            self.ctx.Repeat(self.sweeps, sweep, label=f"{self.name}.sweeps")

@@ -128,6 +128,6 @@ class MPIR(Solver):
 
             ctx.If(cont, refine)
 
-        ctx.While(cont, body, max_iterations=self.max_outer)
+        ctx.While(cont, body, max_iterations=self.max_outer, label=f"{self.name}.refine")
         # Round the refined solution back into the caller's f32 vector.
         x.owned.assign(x_ext.t)

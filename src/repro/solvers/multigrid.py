@@ -222,4 +222,4 @@ class Multigrid(Solver):
 
             ctx.callback(record)
 
-        ctx.Repeat(self.cycles, cycle)
+        ctx.Repeat(self.cycles, cycle, label=f"{self.name}.cycles")

@@ -43,4 +43,4 @@ class Richardson(Solver):
         if self.sweeps == 1:
             sweep()
         else:
-            self.ctx.Repeat(self.sweeps, sweep)
+            self.ctx.Repeat(self.sweeps, sweep, label=f"{self.name}.sweeps")

@@ -77,7 +77,6 @@ class ModifiedCRS:
             raise ValueError("matrix must be square")
         csr.sum_duplicates()
         csr.sort_indices()
-        n = csr.shape[0]
         diag = csr.diagonal()
         # Strip the diagonal out of the CRS structure.
         offdiag = csr - sp.diags(diag, format="csr")

@@ -131,7 +131,6 @@ class DistributedMatrix:
             rows = self.plan.owned_order[t]
             lmap = self.plan.local_index_map(t)
             n_loc = rows.size
-            diag = crs.diag[rows].astype(np.float32)
             ptr = [0]
             cols_loc, vals = [], []
             for g in rows:
@@ -203,10 +202,20 @@ class DistributedMatrix:
     # -- program steps ----------------------------------------------------------------------
 
     def exchange(self, vec: DistVector) -> None:
-        """Append a blockwise halo exchange refreshing ``vec``'s halo buffer."""
+        """Append the blockwise halo exchange refreshing ``vec``'s halo buffer.
+
+        One communication program (``Exchange`` step) is emitted per sending
+        tile — the blockwise programs of Sec. IV.  The graph compiler's
+        exchange-coalescing pass merges adjacent programs into a single
+        fabric phase, so the optimized schedule pays one BSP sync for the
+        whole halo update; without the pass each block pays its own sync.
+        """
         copies = self.plan.copies(vec.owned.var, vec.halo.var)
-        if copies:
-            self.ctx.append(Exchange(copies, name="exchange"))
+        by_src: dict[int, list] = {}
+        for rc in copies:
+            by_src.setdefault(rc.src_tile, []).append(rc)
+        for t in sorted(by_src):
+            self.ctx.append(Exchange(by_src[t], name="exchange"))
 
     def _worker_row_chunks(self, t: int, workers: int):
         """Contiguous row ranges per worker, balanced by nonzero count."""
@@ -235,7 +244,6 @@ class DistributedMatrix:
         (binary64 evaluation, result stored in ``y.dtype``) otherwise.
         """
         self.exchange(x)
-        extended = x.dtype != Type.FLOAT32 or y.dtype != Type.FLOAT32
         cost_dtype = x.dtype if x.dtype != Type.FLOAT32 else y.dtype
         # SpMVs bucket as "spmv" regardless of precision (Table IV's taxonomy:
         # "Extended-Precision Ops" covers the MPIR vector ops, while the

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from contextlib import contextmanager
+
 from repro.codedsl import estimate_flops
 from repro.codedsl.builder import CodeletIR
 from repro.graph import (
+    CompiledProgram,
     ComputeSet,
     Codelet,
     Engine,
@@ -27,6 +30,7 @@ from repro.graph import (
     Repeat as RepeatStep,
     RepeatWhile,
     Sequence,
+    compile_program,
 )
 from repro.machine import IPUDevice
 from repro.tensordsl.expression import Expr
@@ -219,18 +223,34 @@ class TensorContext:
         else_seq = self._capture(else_fn) if else_fn is not None else None
         self.append(IfStep(cond_var, then_seq, else_seq))
 
-    def While(self, cond, body_fn, max_iterations: int = 100_000) -> None:
+    def While(self, cond, body_fn, max_iterations: int = 100_000,
+              label: str | None = None) -> None:
         """Run ``body_fn`` while the scalar ``cond`` tensor is nonzero.
 
         ``cond`` must be materialized; the body updates it via ``assign``
-        (the ``terminate`` flag pattern of Fig. 4).
+        (the ``terminate`` flag pattern of Fig. 4).  A ``label`` opens a
+        profiler scope around the loop (Table IV path breakdown).
         """
         cond_var = self._as_cond_var(cond)
         body_seq = self._capture(body_fn)
-        self.append(RepeatWhile(cond_var, body_seq, max_iterations=max_iterations))
+        self.append(
+            RepeatWhile(cond_var, body_seq, max_iterations=max_iterations, label=label)
+        )
 
-    def Repeat(self, count: int, body_fn) -> None:
-        self.append(RepeatStep(count, self._capture(body_fn)))
+    def Repeat(self, count: int, body_fn, label: str | None = None) -> None:
+        self.append(RepeatStep(count, self._capture(body_fn), label=label))
+
+    @contextmanager
+    def scope(self, name: str):
+        """Append a labeled sequence: a named profiler scope for the steps
+        generated inside the ``with`` block (per-phase Table IV paths)."""
+        seq = Sequence(label=name)
+        self.append(seq)
+        self._stack.append(seq)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
 
     def _capture(self, body_fn) -> Sequence:
         """Symbolically execute ``body_fn`` into a fresh schedule step."""
@@ -297,10 +317,21 @@ class TensorContext:
 
         self.append(HostCallback(fn))
 
-    # -- execution ------------------------------------------------------------------------------------------
+    # -- compilation & execution ----------------------------------------------------------------------------
 
-    def run(self) -> Engine:
-        """Concrete execution: run the generated schedule on the machine model."""
-        engine = Engine(self.graph)
-        engine.run(self.root)
+    def compile(self, optimize: bool = True, passes=None) -> CompiledProgram:
+        """Lower the constructed schedule through the pass pipeline.
+
+        Returns the immutable :class:`CompiledProgram` artifact (optimized
+        schedule + stats + pass report).  ``optimize=False`` freezes the raw
+        schedule — the no-pass ablation baseline.  The source schedule is
+        never mutated, so a context can be compiled repeatedly (e.g. with
+        different pipelines) and extended afterwards.
+        """
+        return compile_program(self.graph, self.root, passes=passes, optimize=optimize)
+
+    def run(self, optimize: bool = True, passes=None) -> Engine:
+        """Compile the generated schedule and execute it on the machine model."""
+        engine = Engine(self.compile(optimize=optimize, passes=passes))
+        engine.run()
         return engine

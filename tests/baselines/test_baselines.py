@@ -1,7 +1,6 @@
 """Tests for the CPU/GPU baseline numerics and performance models."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.baselines import (

@@ -172,7 +172,7 @@ class TestEstimator:
     def test_while_charges_one_iteration(self):
         ir = CodeletIR(params=["x"])
         with ir:
-            x = ir.array("x")
+            ir.array("x")
             t = Let(0.0)
             While(t < 10, lambda: t.assign(t + 1))
         # cond(1) + body(1); Let's constant init is free.

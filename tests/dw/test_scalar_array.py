@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dw import DWArray, DWScalar, joldes, lange_rump
+from repro.dw import DWArray, DWScalar, lange_rump
 
 val = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_subnormal=False, width=64)
 nonzero = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_subnormal=False, width=64)
@@ -21,7 +21,14 @@ class TestDWScalar:
     @settings(max_examples=200)
     def test_add_matches_f64(self, a, b):
         got = (DWScalar.from_float(a) + DWScalar.from_float(b)).to_float()
-        assert got == pytest.approx(np.float64(a) + np.float64(b), rel=2**-40, abs=1e-20)
+        # The (f32, f32) split only represents each input to ~|x| * 2^-49;
+        # cancellation exposes that representation error in the sum, so it
+        # is allowed absolutely on top of the algorithm's relative bound.
+        assert got == pytest.approx(
+            np.float64(a) + np.float64(b),
+            rel=2**-40,
+            abs=(abs(a) + abs(b)) * 2**-48 + 1e-20,
+        )
 
     @given(val, nonzero)
     @settings(max_examples=200)

@@ -1,7 +1,6 @@
 """Tests for the program describe() utility and multi-IPU solver integration."""
 
 import numpy as np
-import pytest
 
 from repro.graph import describe
 from repro.machine import IPUDevice

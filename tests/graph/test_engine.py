@@ -59,7 +59,6 @@ class TestExecute:
         assert eng.supersteps == 1
 
     def test_superstep_cost_is_slowest_tile(self, graph):
-        v = graph.add_variable("x", (8,))
         cl = Codelet("noop", run=lambda ctx: None, cycles=lambda ctx: ctx["c"])
         cs = ComputeSet("uneven")
         cs.add_vertex(cl, 0, {"c": 100})

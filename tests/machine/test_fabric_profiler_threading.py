@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.machine import CycleModel, IPUDevice, Profiler, Transfer
-from repro.machine.fabric import ExchangeFabric
+from repro.machine import IPUDevice, Profiler, Transfer
 from repro.machine.spec import MK2
 from repro.machine import threading as thr
 

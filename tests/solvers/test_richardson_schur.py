@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.machine import IPUDevice
 from repro.solvers import solve
-from repro.sparse import poisson2d, poisson3d
+from repro.sparse import poisson2d
 from repro.sparse.suitesparse import geo_like
 
 

@@ -6,16 +6,12 @@ import scipy.sparse as sp
 
 from repro.machine import IPUDevice
 from repro.solvers import (
-    DILU,
-    GaussSeidel,
     ILU0,
-    Identity,
-    Jacobi,
     PBiCGStab,
     build_solver,
     solve,
 )
-from repro.sparse import poisson2d, poisson3d
+from repro.sparse import poisson2d
 from repro.sparse.distribute import DistributedMatrix
 from repro.sparse.suitesparse import g3_circuit_like
 from repro.tensordsl import TensorContext

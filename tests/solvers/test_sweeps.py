@@ -1,7 +1,6 @@
 """Tests for the level-scheduled sweep engine."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.machine import CycleModel, MK2

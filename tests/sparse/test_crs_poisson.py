@@ -71,8 +71,6 @@ class TestModifiedCRS:
         perm = rng.permutation(20)
         pm = m.permute(perm)
         # (PAPᵀ)x = P A Pᵀ x.
-        x = rng.standard_normal(20)
-        expected = (a @ x[np.argsort(perm)])[perm] if False else None
         p = sp.csr_matrix((np.ones(20), (np.arange(20), perm)), shape=(20, 20))
         np.testing.assert_allclose(
             pm.to_scipy().toarray(), (p @ a @ p.T).toarray(), rtol=1e-12

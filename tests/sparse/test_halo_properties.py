@@ -5,7 +5,6 @@ must hold for *any* matrix and partition — ideal hypothesis territory.
 """
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st

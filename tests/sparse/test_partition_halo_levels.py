@@ -14,7 +14,7 @@ from repro.sparse import (
     poisson2d,
     poisson3d,
 )
-from repro.sparse.partition import grid_factors, partition_grid
+from repro.sparse.partition import grid_factors
 from repro.sparse.suitesparse import g3_circuit_like
 
 

@@ -1,12 +1,11 @@
 """Tests for the SELL-C-σ format (the paper's Sec. II-C future work)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.machine import CycleModel
-from repro.sparse import ModifiedCRS, poisson2d, poisson3d
+from repro.sparse import poisson2d, poisson3d
 from repro.sparse.sell import SellBlock, crs_spmv_cycles, sell_spmv_cycles
 from repro.sparse.suitesparse import g3_circuit_like
 

@@ -7,7 +7,6 @@ broadcasting, dtype promotion, and the dw kernels compose correctly.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

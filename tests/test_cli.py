@@ -50,6 +50,32 @@ class TestSolveCommand:
             main(["solve", "--matrix", "nonsense:3", "--config", "{}"])
 
 
+class TestCompileReportCommand:
+    def test_compile_report(self, capsys):
+        rc = main([
+            "compile-report", "--matrix", "poisson2d:8",
+            "--config", '{"solver": "cg", "tol": 1e-6}',
+            "--tiles", "4", "--tree",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "source schedule:" in out
+        assert "optimized schedule:" in out
+        assert "compile proxy:" in out
+        assert "coalesce-exchanges" in out
+        assert "optimized program:" in out
+
+    def test_compile_report_no_opt(self, capsys):
+        rc = main([
+            "compile-report", "--matrix", "poisson2d:8",
+            "--config", '{"solver": "jacobi", "sweeps": 5}',
+            "--tiles", "4", "--no-opt",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(no passes run)" in out or "compile report" in out
+
+
 class TestInfoCommand:
     def test_info(self, capsys):
         assert main(["info"]) == 0
