@@ -1,6 +1,7 @@
 """Benchmark harness utilities shared by the ``benchmarks/`` targets."""
 
 from repro.bench.harness import (
+    backend_wallclock,
     ipu_spmv_run,
     print_series,
     print_table,
@@ -8,4 +9,11 @@ from repro.bench.harness import (
     SpMVRun,
 )
 
-__all__ = ["print_table", "print_series", "save_result", "ipu_spmv_run", "SpMVRun"]
+__all__ = [
+    "print_table",
+    "print_series",
+    "save_result",
+    "ipu_spmv_run",
+    "SpMVRun",
+    "backend_wallclock",
+]

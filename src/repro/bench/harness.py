@@ -12,6 +12,7 @@ cycle-count trajectory of the Fig. 5–8 benches without parsing tables.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -21,7 +22,14 @@ from repro.machine import IPUDevice
 from repro.sparse.distribute import DistributedMatrix
 from repro.tensordsl import TensorContext
 
-__all__ = ["print_table", "print_series", "save_result", "ipu_spmv_run", "SpMVRun"]
+__all__ = [
+    "print_table",
+    "print_series",
+    "save_result",
+    "ipu_spmv_run",
+    "SpMVRun",
+    "backend_wallclock",
+]
 
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -97,11 +105,14 @@ class SpMVRun:
 
 
 def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16,
-                 repeats: int = 1, optimize: bool = True) -> SpMVRun:
+                 repeats: int = 1, optimize: bool = True,
+                 backend: str = "sim") -> SpMVRun:
     """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown.
 
     ``optimize=False`` executes the raw schedule without the graph
     compiler's passes — the no-pass baseline of the compile ablations.
+    ``backend`` selects the runtime backend (``"fast"`` reports zero
+    cycles — use it only when the numerics are the measurement).
     """
     device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
     ctx = TensorContext(device)
@@ -113,7 +124,7 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         A.spmv(x, y)
     else:
         ctx.Repeat(repeats, lambda: A.spmv(x, y))
-    engine = ctx.run(optimize=optimize)
+    engine = ctx.run(optimize=optimize, backend=backend)
     compiled = engine.compiled
     prof = device.profiler
     total = prof.total_cycles // repeats
@@ -129,3 +140,50 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         compile_proxy=compiled.stats.compile_proxy,
         source_compile_proxy=compiled.source_stats.compile_proxy,
     )
+
+
+def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
+                      tiles_per_ipu: int = 16, repeats: int = 1) -> dict:
+    """Host wall-clock of the same SpMV program under both runtime backends.
+
+    Builds and compiles an identical schedule twice (fresh device each
+    time), executes it once under ``sim`` and once under ``fast``, and
+    returns the wall-clock seconds of each ``Engine.run()`` together with
+    the speedup and a bit-identity check of the results.  Wall-clock
+    numbers are host measurements and therefore *not* deterministic —
+    benches that record them should keep them out of the cycle-count
+    artifacts.
+    """
+    from repro.graph import Engine
+
+    seconds: dict = {}
+    outputs: dict = {}
+    sim_cycles = 0
+    for backend in ("sim", "fast"):
+        device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
+        ctx = TensorContext(device)
+        A = DistributedMatrix(ctx, crs, grid_dims=grid_dims)
+        rng = np.random.default_rng(0)
+        x = A.vector(data=rng.standard_normal(crs.n))
+        y = A.vector()
+        if repeats == 1:
+            A.spmv(x, y)
+        else:
+            ctx.Repeat(repeats, lambda: A.spmv(x, y))
+        engine = Engine(ctx.compile(), backend=backend)
+        t0 = time.perf_counter()
+        engine.run()
+        seconds[backend] = time.perf_counter() - t0
+        outputs[backend] = y.read_global()
+        if backend == "sim":
+            sim_cycles = device.profiler.total_cycles
+    return {
+        "num_ipus": num_ipus,
+        "tiles_per_ipu": tiles_per_ipu,
+        "repeats": repeats,
+        "sim_seconds": seconds["sim"],
+        "fast_seconds": seconds["fast"],
+        "speedup": seconds["sim"] / max(seconds["fast"], 1e-12),
+        "bit_identical": bool(np.array_equal(outputs["sim"], outputs["fast"])),
+        "sim_cycles": sim_cycles,
+    }

@@ -78,11 +78,15 @@ def _cmd_solve(args) -> int:
         num_ipus=args.ipus,
         tiles_per_ipu=args.tiles,
         grid_dims=dims,
+        backend=args.backend,
     )
     print(f"matrix:            n={matrix.n} nnz={matrix.nnz}")
     print(f"iterations:        {result.iterations}")
     print(f"relative residual: {result.relative_residual:.3e}")
-    print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
+    if result.backend == "sim":
+        print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
+    else:
+        print(f"backend:           {result.backend} (numerics only, no cycle model)")
     if args.profile:
         print("cycle breakdown:")
         for cat, frac in sorted(result.profile.items(), key=lambda kv: -kv[1]):
@@ -151,6 +155,9 @@ def main(argv=None) -> int:
     p_solve.add_argument("--ipus", type=int, default=1)
     p_solve.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--backend", choices=["sim", "fast"], default="sim",
+                         help="runtime backend: cycle-accurate sim (default) or "
+                              "numerics-only fast (docs/runtime.md)")
     p_solve.add_argument("--profile", action="store_true", help="print the cycle breakdown")
     p_solve.add_argument("--output", help="write the solution vector to a .npy file")
     p_solve.set_defaults(fn=_cmd_solve)

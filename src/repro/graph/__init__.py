@@ -9,11 +9,14 @@ package provides those artifacts; the DSLs of :mod:`repro.codedsl` and
 - :mod:`repro.graph.variable` — tensors with explicit tile mappings,
 - :mod:`repro.graph.codelet` — codelets, vertices, compute sets,
 - :mod:`repro.graph.program` — the execution-schedule step types,
-- :mod:`repro.graph.engine` — executes a compiled program on the machine model,
+- :mod:`repro.graph.engine` — control-flow interpreter over a compiled
+  program, delegating compute/exchange to a runtime backend,
+- :mod:`repro.graph.runtime` — pluggable backends: cycle-accurate ``sim``
+  and numerics-only ``fast`` (docs/runtime.md),
 - :mod:`repro.graph.compiler` — graph statistics (the compile-time proxy
   used by the ablation benches),
 - :mod:`repro.graph.passes` — the pass-based graph compiler: optimization
-  pipeline lowering a schedule into a :class:`CompiledProgram`.
+  pipeline + plan lowering producing a :class:`CompiledProgram`.
 """
 
 from repro.graph.variable import Interval, Variable
@@ -33,11 +36,20 @@ from repro.graph.engine import Engine
 from repro.graph.compiler import GraphStats, collect_stats, describe
 from repro.graph.passes import (
     CompiledProgram,
+    ExecutionPlans,
     Pass,
     PassManager,
     PassReport,
+    build_plans,
     compile_program,
     default_passes,
+)
+from repro.graph.runtime import (
+    Backend,
+    FastBackend,
+    SimBackend,
+    register_backend,
+    resolve_backend,
 )
 
 __all__ = [
@@ -63,6 +75,13 @@ __all__ = [
     "PassManager",
     "PassReport",
     "CompiledProgram",
+    "ExecutionPlans",
+    "build_plans",
     "compile_program",
     "default_passes",
+    "Backend",
+    "SimBackend",
+    "FastBackend",
+    "register_backend",
+    "resolve_backend",
 ]

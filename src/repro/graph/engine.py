@@ -1,15 +1,17 @@
-"""The engine: executes an execution schedule on the machine model.
+"""The engine: a control-flow interpreter over a compiled program.
 
-This is the analogue of ``poplar::Engine`` running a compiled graph program
-on hardware (or on Poplar's simulator — which is precisely what we are).
-Execution is deterministic: the same program on the same inputs always
-produces the same results *and the same cycle counts*, mirroring the
-measurement methodology of Sec. VI-A.
+This is the analogue of ``poplar::Engine`` loading a compiled executable.
+The engine owns *only* control flow — ``Sequence`` / ``Repeat`` /
+``RepeatWhile`` / ``If`` / ``HostCallback`` — plus the host data interface;
+compute and exchange phases are delegated to a pluggable runtime backend
+(:mod:`repro.graph.runtime`).  With the default ``backend="sim"`` execution
+is deterministic: the same program on the same inputs always produces the
+same results *and the same cycle counts*, mirroring the measurement
+methodology of Sec. VI-A.  ``backend="fast"`` produces bit-identical
+results without any cycle accounting.
 """
 
 from __future__ import annotations
-
-import heapq
 
 import numpy as np
 
@@ -24,37 +26,36 @@ from repro.graph.program import (
     Sequence,
     Step,
 )
+from repro.graph.runtime import CONTROL_CYCLES, resolve_backend
 from repro.graph.variable import Variable
-from repro.machine.fabric import Transfer
 
-__all__ = ["Engine"]
-
-#: Control-flow overhead charged per loop-iteration / branch decision
-#: (the IPU evaluates branch predicates with single-cycle latency, but the
-#: sync to agree on the branch across tiles is not free).
-CONTROL_CYCLES = 8
+__all__ = ["Engine", "CONTROL_CYCLES"]
 
 
 class Engine:
-    """Executes a :class:`CompiledProgram` (or raw steps) on the machine model.
+    """Executes a :class:`CompiledProgram` on a runtime backend.
 
-    The supported construction is ``Engine(compiled_program)`` followed by
-    ``engine.run()`` — the engine only ever sees schedules the pass pipeline
-    has lowered, like ``poplar::Engine`` only ever loads compiled
-    executables.  ``Engine(graph)`` + ``engine.run(step)`` is kept as a thin
-    deprecated path for callers that still hand-build raw step trees.
+    The only supported construction is ``Engine(compiled_program)`` followed
+    by ``engine.run()`` — the engine only ever sees schedules the pass
+    pipeline has lowered into plans, like ``poplar::Engine`` only ever loads
+    compiled executables.  ``backend`` selects the runtime: ``"sim"``
+    (cycle-accurate, the default), ``"fast"`` (numerics only), or any
+    :class:`~repro.graph.runtime.Backend` instance/class.
     """
 
-    def __init__(self, program):
-        if isinstance(program, CompiledProgram):
-            self.compiled = program
-            graph = program.graph
-        else:  # deprecated raw-graph path
-            self.compiled = None
-            graph = program
-        self.graph = graph
-        self.device = graph.device
-        self.profiler = graph.device.profiler
+    def __init__(self, program: CompiledProgram, backend="sim"):
+        if not isinstance(program, CompiledProgram):
+            raise TypeError(
+                "Engine expects a CompiledProgram; lower raw schedules with "
+                "compile_program(graph, root) (or optimize=False to freeze "
+                "them as-is) before constructing an engine"
+            )
+        self.compiled = program
+        self.graph = program.graph
+        self.device = self.graph.device
+        self.profiler = self.device.profiler
+        self.backend = resolve_backend(backend)
+        self.backend.bind(program, self.device)
         # Execution statistics (compile-proxy counters live in compiler.py).
         self.supersteps = 0
         self.exchanges = 0
@@ -80,131 +81,66 @@ class Engine:
 
     # -- execution ---------------------------------------------------------------------
 
-    def run(self, step: Step | None = None) -> None:
-        """Execute one step; with no argument, the compiled program's root."""
-        if step is None:
-            if self.compiled is None:
-                raise ValueError("Engine(graph) has no compiled program; pass a step")
-            step = self.compiled.root
+    def run(self) -> None:
+        """Execute the compiled program's root step."""
+        self._run_step(self.compiled.root)
+
+    def _run_step(self, step: Step) -> None:
         if isinstance(step, Sequence):
             if step.label is not None:
-                with self.profiler.step(step.label):
+                with self.backend.scope(step.label):
                     for s in step.steps:
-                        self.run(s)
+                        self._run_step(s)
             else:
                 for s in step.steps:
-                    self.run(s)
+                    self._run_step(s)
         elif isinstance(step, Execute):
-            self._run_compute_set(step)
+            self.supersteps += 1
+            self.backend.run_compute_set(step)
         elif isinstance(step, Exchange):
-            self._run_exchange(step)
+            self.exchanges += 1
+            self.backend.run_exchange(step)
         elif isinstance(step, Repeat):
             if step.label is not None:
-                with self.profiler.step(step.label):
+                with self.backend.scope(step.label):
                     self._run_repeat(step)
             else:
                 self._run_repeat(step)
         elif isinstance(step, RepeatWhile):
             if step.label is not None:
-                with self.profiler.step(step.label):
+                with self.backend.scope(step.label):
                     self._run_repeat_while(step)
             else:
                 self._run_repeat_while(step)
         elif isinstance(step, If):
-            self.profiler.record("control", CONTROL_CYCLES)
+            self.backend.control()
             if self.read_scalar(step.cond) != 0.0:
-                self.run(step.then_body)
+                self._run_step(step.then_body)
             elif step.else_body is not None:
-                self.run(step.else_body)
+                self._run_step(step.else_body)
         elif isinstance(step, HostCallback):
             self.host_callbacks += 1
             step.fn(self)
         else:
             raise TypeError(f"unknown program step: {step!r}")
 
+    # -- loops -------------------------------------------------------------------------
+
     def _run_repeat(self, step: Repeat) -> None:
         for _ in range(step.count):
             self.loop_iterations += 1
-            self.profiler.record("control", CONTROL_CYCLES)
-            self.run(step.body)
-
-    # -- compute phases -----------------------------------------------------------------
-
-    def _run_compute_set(self, step: Execute) -> None:
-        cs = step.compute_set
-        self.supersteps += 1
-        worst_tile = 0
-        per_tile: dict[int, list] = {}
-        category = cs.category
-        for v in cs.vertices:
-            per_tile.setdefault(v.tile_id, []).append(v)
-            if category is None:
-                category = v.codelet.category
-        for tile_id, vertices in per_tile.items():
-            tasks = []
-            for v in vertices:
-                v.run()
-                tasks.extend(v.worker_cycles())
-            worst_tile = max(worst_tile, self._pack_workers(tasks))
-        cycles = self.device.model.sync() + worst_tile
-        self.profiler.record(category or "elementwise", cycles)
-
-    def _pack_workers(self, tasks) -> int:
-        """Makespan of ``tasks`` on the tile's 6 workers (LPT packing)."""
-        w = self.device.spec.workers_per_tile
-        if len(tasks) <= w:
-            return max(tasks, default=0)
-        heap = [0] * w
-        for t in sorted(tasks, reverse=True):
-            heapq.heappush(heap, heapq.heappop(heap) + t)
-        return max(heap)
-
-    # -- exchange phases -----------------------------------------------------------------
-
-    def _run_exchange(self, step: Exchange) -> None:
-        self.exchanges += 1
-        transfers = []
-        # On-tile memcpys serialize on their tile's st64 path: costs are
-        # summed per tile, then max-reduced across tiles (BSP semantics).
-        local_per_tile: dict[int, int] = {}
-        for rc in step.copies:
-            src_sh = rc.src_var.shard(rc.src_tile)
-            src_hi = src_sh.data[rc.src_offset : rc.src_offset + rc.size]
-            src_lo = (
-                src_sh.lo[rc.src_offset : rc.src_offset + rc.size]
-                if src_sh.lo is not None
-                else None
-            )
-            remote_dests = []
-            for dst_var, dst_tile, dst_offset in rc.dests:
-                dst_sh = dst_var.shard(dst_tile)
-                dst_sh.data[dst_offset : dst_offset + rc.size] = src_hi
-                if src_lo is not None and dst_sh.lo is not None:
-                    dst_sh.lo[dst_offset : dst_offset + rc.size] = src_lo
-                if dst_tile != rc.src_tile:
-                    remote_dests.append(dst_tile)
-                else:
-                    # On-tile memcpy: 8 bytes per cycle through the st64 path.
-                    cost = (rc.size * rc.src_var.element_bytes() + 7) // 8
-                    local_per_tile[dst_tile] = local_per_tile.get(dst_tile, 0) + cost
-            if remote_dests:
-                nbytes = rc.size * rc.src_var.element_bytes()
-                transfers.append(Transfer(rc.src_tile, tuple(remote_dests), nbytes))
-        phase = self.device.fabric.run(transfers)
-        local_cycles = max(local_per_tile.values(), default=0)
-        self.profiler.record(step.name, phase.cycles + local_cycles)
-
-    # -- loops -------------------------------------------------------------------------
+            self.backend.control()
+            self._run_step(step.body)
 
     def _run_repeat_while(self, step: RepeatWhile) -> None:
         iters = 0
         while True:
             if step.check_before_first or iters > 0:
-                self.profiler.record("control", CONTROL_CYCLES)
+                self.backend.control()
                 if self.read_scalar(step.cond) == 0.0:
                     break
             if iters >= step.max_iterations:
                 break
             iters += 1
             self.loop_iterations += 1
-            self.run(step.body)
+            self._run_step(step.body)

@@ -10,7 +10,11 @@
 - :mod:`repro.graph.passes.fuse` — adjacent compute sets on disjoint tiles
   share one sync,
 - :mod:`repro.graph.passes.loops` — loop-invariant normalization hoisting
-  (bodies compiled once, trivial loops simplified).
+  (bodies compiled once, trivial loops simplified),
+- :mod:`repro.graph.passes.plans` — the final lowering stage: every leaf
+  step of the optimized schedule is frozen into an execution plan
+  (precomputed worker packing, vectorized exchange index arrays) that the
+  runtime backends replay.
 """
 
 from repro.graph.passes.base import (
@@ -27,6 +31,16 @@ from repro.graph.passes.coalesce import CoalesceExchanges
 from repro.graph.passes.flatten import FlattenSequences
 from repro.graph.passes.fuse import FuseComputeSets
 from repro.graph.passes.loops import HoistLoopInvariants
+from repro.graph.passes.plans import (
+    ComputePlan,
+    CopyOp,
+    ExchangePlan,
+    ExecutionPlans,
+    TilePlan,
+    build_plans,
+    compute_set_category,
+    lpt_makespan,
+)
 
 __all__ = [
     "Pass",
@@ -41,4 +55,12 @@ __all__ = [
     "HoistLoopInvariants",
     "CoalesceExchanges",
     "FuseComputeSets",
+    "ComputePlan",
+    "CopyOp",
+    "ExchangePlan",
+    "ExecutionPlans",
+    "TilePlan",
+    "build_plans",
+    "compute_set_category",
+    "lpt_makespan",
 ]

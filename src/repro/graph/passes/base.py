@@ -183,9 +183,11 @@ class CompiledProgram:
     """The immutable artifact the engine executes.
 
     Bundles the optimized schedule with the graph it runs against, the
-    source schedule it was lowered from, graph statistics for both, and the
-    pass report — everything the ablation benches and the CLI compile-report
-    view need, mirroring Poplar's compiled-executable + report pair.
+    source schedule it was lowered from, graph statistics for both, the
+    pass report, and the frozen per-step execution plans
+    (:mod:`repro.graph.passes.plans`) that the runtime backends replay —
+    everything the ablation benches and the CLI compile-report view need,
+    mirroring Poplar's compiled-executable + report pair.
     """
 
     root: Step
@@ -194,6 +196,11 @@ class CompiledProgram:
     source: Step
     source_stats: GraphStats
     report: PassReport
+    plans: object = None  # ExecutionPlans of the optimized schedule
+
+    def plan_for(self, step: Step):
+        """The frozen execution plan of one leaf step of ``root``."""
+        return self.plans.plan_for(step)
 
     @property
     def compile_proxy(self) -> int:
@@ -235,7 +242,11 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
 
     ``passes=None`` uses :func:`default_passes`; ``optimize=False`` (the
     ablation baseline) freezes the schedule as-is with an empty report.
+    Either way the final lowering stage builds the per-step execution
+    plans every runtime backend executes.
     """
+    from repro.graph.passes.plans import build_plans
+
     source_stats = collect_stats(root)
     manager = PassManager([] if not optimize else passes)
     optimized, report = manager.run(root)
@@ -246,4 +257,5 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
         source=root,
         source_stats=source_stats,
         report=report,
+        plans=build_plans(optimized, graph.device),
     )

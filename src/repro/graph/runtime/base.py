@@ -1,0 +1,84 @@
+"""The ``Backend`` protocol: pluggable execution of compute and exchange.
+
+The engine (:mod:`repro.graph.engine`) is a thin control-flow interpreter;
+everything that actually *runs* — compute phases, exchange phases, control
+overhead accounting, profiler scopes — is delegated to a backend bound to
+the compiled program.  Two implementations ship with the framework
+(:mod:`repro.graph.runtime.sim`, :mod:`repro.graph.runtime.fast`); see
+``docs/runtime.md`` for when to use which and what each guarantees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import nullcontext
+
+__all__ = ["Backend", "BACKENDS", "register_backend", "resolve_backend", "CONTROL_CYCLES"]
+
+#: Control-flow overhead charged per loop-iteration / branch decision
+#: (the IPU evaluates branch predicates with single-cycle latency, but the
+#: sync to agree on the branch across tiles is not free).
+CONTROL_CYCLES = 8
+
+#: Name -> backend class registry (populated by ``register_backend``).
+BACKENDS: dict = {}
+
+
+def register_backend(cls):
+    """Class decorator adding a backend to the ``BACKENDS`` registry."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def resolve_backend(spec) -> "Backend":
+    """Resolve a backend selector: a name, a class, or an instance."""
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Backend):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r} (available: {sorted(BACKENDS)})"
+            ) from None
+    raise TypeError(f"backend must be a name, Backend class, or instance, not {spec!r}")
+
+
+class Backend(ABC):
+    """Executes the leaf steps of a compiled program.
+
+    A backend is bound to exactly one compiled program + device pair via
+    :meth:`bind` before the first step runs; it reads per-step execution
+    plans from the program's plan table instead of re-deriving structure on
+    the hot path.
+    """
+
+    name = "backend"
+
+    def bind(self, compiled, device) -> None:
+        self.compiled = compiled
+        self.plans = compiled.plans
+        self.device = device
+
+    def plan_for(self, step):
+        return self.plans.plan_for(step)
+
+    @abstractmethod
+    def run_compute_set(self, step) -> None:
+        """Execute one ``Execute`` step (one BSP compute phase)."""
+
+    @abstractmethod
+    def run_exchange(self, step) -> None:
+        """Execute one ``Exchange`` step (one BSP exchange phase)."""
+
+    def control(self) -> None:
+        """Account one loop-iteration / branch decision (no-op by default)."""
+
+    def scope(self, label: str):
+        """Context manager for a labeled program scope (no-op by default)."""
+        return nullcontext()
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"

@@ -1,0 +1,48 @@
+"""``FastBackend``: numerics only, as fast as the host allows.
+
+Executes exactly the same floating-point operations in exactly the same
+order as :class:`~repro.graph.runtime.sim.SimBackend` — results are
+bit-identical — but skips everything that only exists to produce cycle
+counts: no profiler records, no worker packing, no fabric or sync model,
+no control-overhead accounting.  Compute phases replay the plan's cached
+dispatch list; exchange phases are the plan's vectorized numpy copy ops
+and nothing else.
+
+Use it for large-matrix runs where only the solution matters (convergence
+studies, correctness sweeps); cycle counts and modeled seconds read as
+zero afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.graph.runtime.base import Backend, register_backend
+
+__all__ = ["FastBackend"]
+
+
+@register_backend
+class FastBackend(Backend):
+    """Functional backend: bit-identical results, no cycle accounting."""
+
+    name = "fast"
+
+    def bind(self, compiled, device) -> None:
+        super().bind(compiled, device)
+        # Per-step dispatch cache: id(step) -> the work to replay.  Plans
+        # are resolved once, outside the interpreter loop.
+        self._compute: dict = {}
+        self._exchange: dict = {}
+
+    def run_compute_set(self, step) -> None:
+        dispatch = self._compute.get(id(step))
+        if dispatch is None:
+            dispatch = self._compute.setdefault(id(step), self.plan_for(step).dispatch)
+        for run in dispatch:
+            run()
+
+    def run_exchange(self, step) -> None:
+        ops = self._exchange.get(id(step))
+        if ops is None:
+            ops = self._exchange.setdefault(id(step), self.plan_for(step).ops)
+        for op in ops:
+            op.apply()

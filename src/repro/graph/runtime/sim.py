@@ -1,0 +1,49 @@
+"""``SimBackend``: cycle-accurate, bit-identical simulation (the default).
+
+Reproduces exactly what the monolithic engine did before the runtime split:
+every compute phase is priced as a BSP sync plus the slowest tile's worker
+makespan, every exchange phase goes through the fabric cost model, control
+decisions charge :data:`~repro.graph.runtime.base.CONTROL_CYCLES`, and
+labeled steps open hierarchical profiler scopes.  The only difference is
+that the structure — vertex groupings, LPT packing, transfer lists,
+vectorized copy ops — comes precomputed from the execution plans, so the
+hot path does no per-step re-derivation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.runtime.base import Backend, CONTROL_CYCLES, register_backend
+
+__all__ = ["SimBackend"]
+
+
+@register_backend
+class SimBackend(Backend):
+    """Cycle-accurate backend: real numerics *and* deterministic cycles."""
+
+    name = "sim"
+
+    def bind(self, compiled, device) -> None:
+        super().bind(compiled, device)
+        self.profiler = device.profiler
+        self.model = device.model
+        self.fabric = device.fabric
+
+    def run_compute_set(self, step) -> None:
+        plan = self.plan_for(step)
+        for run in plan.dispatch:
+            run()
+        self.profiler.record(plan.category, self.model.sync() + plan.worst_tile)
+
+    def run_exchange(self, step) -> None:
+        plan = self.plan_for(step)
+        for op in plan.ops:
+            op.apply()
+        phase = self.fabric.run(plan.transfers)
+        self.profiler.record(plan.name, phase.cycles + plan.local_cycles)
+
+    def control(self) -> None:
+        self.profiler.record("control", CONTROL_CYCLES)
+
+    def scope(self, label: str):
+        return self.profiler.step(label)

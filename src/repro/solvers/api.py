@@ -39,6 +39,7 @@ class SolveResult:
     engine: object = None
     solver: object = None
     compiled: CompiledProgram | None = None  # the executed program artifact
+    backend: str = "sim"  # runtime backend the program executed on
 
     @property
     def iterations(self) -> int:
@@ -120,6 +121,7 @@ def solve(
     device: IPUDevice | None = None,
     blockwise_halo: bool = True,
     optimize: bool = True,
+    backend: str = "sim",
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver described by ``config`` on a
     simulated IPU device.
@@ -128,6 +130,8 @@ def solve(
     :mod:`repro.solvers.config`).  ``grid_dims`` enables the structured
     partitioner for stencil matrices.  ``optimize=False`` skips the graph
     compiler's optimization passes (the no-pass ablation baseline).
+    ``backend="fast"`` executes numerics only (bit-identical solution,
+    zero reported cycles) — see ``docs/runtime.md``.
     """
     ctx, solver, xvec, bvec, device = _build_program(
         matrix,
@@ -142,7 +146,7 @@ def solve(
         blockwise_halo=blockwise_halo,
     )
     compiled = ctx.compile(optimize=optimize)
-    engine = Engine(compiled)
+    engine = Engine(compiled, backend=backend)
     engine.run()
 
     # Prefer the extended-precision solution when the solver kept one.
@@ -166,4 +170,5 @@ def solve(
         engine=engine,
         solver=solver,
         compiled=compiled,
+        backend=engine.backend.name,
     )

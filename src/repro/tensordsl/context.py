@@ -330,8 +330,13 @@ class TensorContext:
         """
         return compile_program(self.graph, self.root, passes=passes, optimize=optimize)
 
-    def run(self, optimize: bool = True, passes=None) -> Engine:
-        """Compile the generated schedule and execute it on the machine model."""
-        engine = Engine(self.compile(optimize=optimize, passes=passes))
+    def run(self, optimize: bool = True, passes=None, backend="sim") -> Engine:
+        """Compile the generated schedule and execute it on the machine model.
+
+        ``backend`` selects the runtime: ``"sim"`` (cycle-accurate, the
+        default) or ``"fast"`` (bit-identical numerics, no cycle
+        accounting) — see ``docs/runtime.md``.
+        """
+        engine = Engine(self.compile(optimize=optimize, passes=passes), backend=backend)
         engine.run()
         return engine

@@ -61,6 +61,13 @@ def copy_step(src, dst, src_tile=0, dst_tile=1, size=2, name="exchange"):
     return Exchange([RegionCopy(src, src_tile, 0, ((dst, dst_tile, 0),), size)], name=name)
 
 
+def run_raw(g, root):
+    """Freeze a step tree as-is (no passes) and execute it; returns the engine."""
+    eng = Engine(compile_program(g, root, optimize=False))
+    eng.run()
+    return eng
+
+
 # -- golden describe() snapshots -------------------------------------------------------
 
 
@@ -235,8 +242,7 @@ class TestCoalesce:
             root = Sequence([copy_step(a, b, 0, 1), copy_step(a, b, 2, 3)])
             if coalesce:
                 root = CoalesceExchanges().run(root)
-            eng = Engine(g)
-            eng.run(root)
+            eng = run_raw(g, root)
             return g.device.profiler.total_cycles, eng.exchanges, eng.read(b)
 
         c_raw, x_raw, b_raw = run(False)
@@ -284,8 +290,7 @@ class TestFuse:
             ])
             if fuse:
                 root = FuseComputeSets().run(root)
-            eng = Engine(g)
-            eng.run(root)
+            eng = run_raw(g, root)
             return g.device.profiler.total_cycles, eng.supersteps, eng.read(v)
 
         c_raw, s_raw, v_raw = run(False)
@@ -323,10 +328,10 @@ class TestCompiledProgram:
         eng.run()
         np.testing.assert_array_equal(eng.read(v), np.ones(8))
 
-    def test_engine_without_program_needs_step(self):
+    def test_engine_rejects_uncompiled_graph(self):
         g = make_graph()
-        with pytest.raises(ValueError):
-            Engine(g).run()
+        with pytest.raises(TypeError, match="CompiledProgram"):
+            Engine(g)
 
     def test_optimize_false_freezes_raw_schedule(self):
         g = make_graph()
@@ -408,8 +413,7 @@ class TestPassProperties:
             [ALL_PASSES[which]()] if which < len(ALL_PASSES) else default_passes()
         )
         g1, x1, y1, root1 = _build(recipe)
-        eng1 = Engine(g1)
-        eng1.run(root1)
+        run_raw(g1, root1)
         base_cycles = g1.device.profiler.total_cycles
 
         g2, x2, y2, root2 = _build(recipe)
@@ -477,24 +481,26 @@ class TestOnTileMemcpyAccounting:
         p = g.device.profiler
 
         # One on-tile copy of 2 f32 elements: ceil(8 B / 8) = 1 cycle.
-        Engine(g).run(Exchange([RegionCopy(a, 0, 0, ((b, 0, 0),), 2)]))
+        run_raw(g, Exchange([RegionCopy(a, 0, 0, ((b, 0, 0),), 2)]))
         one = p.total_cycles
         p.reset()
         # Two copies landing on the SAME tile serialize: 2 cycles, not max=1.
-        Engine(g).run(
+        run_raw(
+            g,
             Exchange([
                 RegionCopy(a, 0, 0, ((b, 0, 0),), 2),
                 RegionCopy(a, 0, 0, ((c, 0, 0),), 2),
-            ])
+            ]),
         )
         same_tile = p.total_cycles
         p.reset()
         # Two copies on DIFFERENT tiles stay parallel: max across tiles.
-        Engine(g).run(
+        run_raw(
+            g,
             Exchange([
                 RegionCopy(a, 0, 0, ((b, 0, 0),), 2),
                 RegionCopy(a, 1, 0, ((c, 1, 0),), 2),
-            ])
+            ]),
         )
         two_tiles = p.total_cycles
         assert same_tile == 2 * one
@@ -511,7 +517,7 @@ class TestProfilerScopes:
         root = Sequence(
             [Sequence([Repeat(2, Execute(inc_cs(v)), label="loop")], label="phase")]
         )
-        Engine(g).run(root)
+        run_raw(g, root)
         paths = g.device.profiler.by_path()
         assert "phase/loop" in paths
         assert "<toplevel>" not in paths

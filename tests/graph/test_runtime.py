@@ -1,0 +1,257 @@
+"""Tests for the pluggable runtime: backend registry, plan lowering, and
+the sim/fast backend pair.
+
+The contract under test is the one ``docs/runtime.md`` documents: both
+backends execute the same frozen plans, ``sim`` adds the cycle model, and
+``fast`` is bit-identical on numerics while leaving the profiler untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Codelet,
+    ComputeSet,
+    Engine,
+    Exchange,
+    Execute,
+    Graph,
+    RegionCopy,
+    Repeat,
+    Sequence,
+    compile_program,
+)
+from repro.graph.engine import CONTROL_CYCLES as ENGINE_CONTROL_CYCLES
+from repro.graph.runtime import (
+    BACKENDS,
+    Backend,
+    CONTROL_CYCLES,
+    FastBackend,
+    SimBackend,
+    register_backend,
+    resolve_backend,
+)
+from repro.machine import IPUDevice
+
+
+def make_graph(tiles=4):
+    return Graph(IPUDevice(tiles_per_ipu=tiles))
+
+
+def inc_cs(var, amount=1.0):
+    cl = Codelet(
+        "inc",
+        run=lambda ctx: ctx["x"].__iadd__(np.float32(amount)),
+        cycles=lambda ctx: 6 * len(ctx["x"]),
+    )
+    cs = ComputeSet("inc_cs")
+    for t in var.tile_ids:
+        cs.add_vertex(cl, t, {"x": var.shard(t).data})
+    return cs
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert BACKENDS["sim"] is SimBackend
+        assert BACKENDS["fast"] is FastBackend
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_backend("sim"), SimBackend)
+        assert isinstance(resolve_backend("fast"), FastBackend)
+
+    def test_resolve_class_and_instance(self):
+        assert isinstance(resolve_backend(SimBackend), SimBackend)
+        inst = FastBackend()
+        assert resolve_backend(inst) is inst
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="fast.*sim|sim.*fast"):
+            resolve_backend("turbo")
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_custom_backend_registration(self):
+        @register_backend
+        class NullBackend(Backend):
+            name = "null-test"
+
+            def run_compute_set(self, step):
+                pass
+
+            def run_exchange(self, step):
+                pass
+
+        try:
+            assert isinstance(resolve_backend("null-test"), NullBackend)
+        finally:
+            del BACKENDS["null-test"]
+
+    def test_control_cycles_reexported(self):
+        assert ENGINE_CONTROL_CYCLES == CONTROL_CYCLES
+
+
+class TestPlanLowering:
+    def test_compiled_program_carries_plans(self):
+        g = make_graph()
+        v = g.add_variable("x", (8,))
+        ex = Execute(inc_cs(v))
+        compiled = compile_program(g, Sequence([ex]), optimize=False)
+        assert ex in compiled.plans
+        plan = compiled.plan_for(ex)
+        assert plan.worst_tile == 12  # 2 elements/tile * 6 cycles
+        assert len(plan.dispatch) == 4
+
+    def test_shared_compute_set_planned_once(self):
+        g = make_graph()
+        v = g.add_variable("x", (8,))
+        cs = inc_cs(v)
+        e1, e2 = Execute(cs), Execute(cs)
+        compiled = compile_program(g, Sequence([e1, e2]), optimize=False)
+        assert compiled.plan_for(e1) is compiled.plan_for(e2)
+
+    def test_loop_body_planned_once(self):
+        g = make_graph()
+        v = g.add_variable("x", (8,))
+        ex = Execute(inc_cs(v))
+        compiled = compile_program(g, Repeat(3, ex), optimize=False)
+        assert len(compiled.plans) == 1
+        assert compiled.plan_for(ex).worst_tile == 12
+
+    def test_single_region_copy_lowers_to_slices(self):
+        g = make_graph()
+        a = g.add_variable("a", (8,))
+        b = g.add_variable("b", (8,))
+        ex = Exchange([RegionCopy(a, 0, 0, ((b, 1, 0),), 2)])
+        compiled = compile_program(g, ex, optimize=False)
+        plan = compiled.plan_for(ex)
+        assert plan.vectorized
+        assert len(plan.ops) == 1
+        assert plan.ops[0].src_index == slice(0, 2)
+        assert plan.ops[0].dst_index == slice(0, 2)
+
+    def test_multi_segment_copies_fuse_to_fancy_index(self):
+        g = make_graph(tiles=2)
+        a = g.add_variable("a", (8,))  # tile0: 0..4, tile1: 4..8
+        b = g.add_variable("b", (8,))
+        a.scatter(np.arange(8))
+        # Two disjoint segments between the same shard pair fuse into one op.
+        ex = Exchange([
+            RegionCopy(a, 0, 0, ((b, 1, 0),), 1),
+            RegionCopy(a, 0, 2, ((b, 1, 2),), 2),
+        ])
+        compiled = compile_program(g, ex, optimize=False)
+        plan = compiled.plan_for(ex)
+        assert plan.vectorized
+        assert len(plan.ops) == 1
+        np.testing.assert_array_equal(plan.ops[0].src_index, [0, 2, 3])
+        eng = Engine(compiled)
+        eng.run()
+        out = eng.read(b)
+        np.testing.assert_array_equal(out[4:8], [0.0, 0.0, 2.0, 3.0])
+
+    def test_overlap_hazard_falls_back_to_ordered_copies(self):
+        g = make_graph()
+        a = g.add_variable("a", (8,))
+        b = g.add_variable("b", (8,))
+        c = g.add_variable("c", (8,))
+        a.scatter(np.arange(8))
+        # The second copy reads b@tile1, which the first copy writes: the
+        # plan must keep strict program order so c sees a's data.
+        ex = Exchange([
+            RegionCopy(a, 0, 0, ((b, 1, 0),), 2),
+            RegionCopy(b, 1, 0, ((c, 2, 0),), 2),
+        ])
+        compiled = compile_program(g, ex, optimize=False)
+        plan = compiled.plan_for(ex)
+        assert not plan.vectorized
+        assert len(plan.ops) == 2
+        eng = Engine(compiled)
+        eng.run()
+        np.testing.assert_array_equal(eng.read(c)[4:6], [0.0, 1.0])
+
+    def test_broadcast_keeps_per_destination_ops(self):
+        g = make_graph()
+        a = g.add_variable("a", (4,))
+        r = g.add_replicated("r", (1,))
+        a.scatter([7.0, 0, 0, 0])
+        ex = Exchange([RegionCopy(a, 0, 0, tuple((r, t, 0) for t in range(4)), 1)])
+        compiled = compile_program(g, ex, optimize=False)
+        plan = compiled.plan_for(ex)
+        assert plan.vectorized
+        assert len(plan.ops) == 4  # one per destination shard array
+        eng = Engine(compiled)
+        eng.run()
+        for t in range(4):
+            assert r.shard(t).data[0] == 7.0
+
+    def test_transfers_precomputed_for_fabric(self):
+        g = make_graph()
+        a = g.add_variable("a", (8,))
+        b = g.add_variable("b", (8,))
+        ex = Exchange([RegionCopy(a, 0, 0, ((b, 0, 0), (b, 3, 0)), 2)])
+        compiled = compile_program(g, ex, optimize=False)
+        plan = compiled.plan_for(ex)
+        # The on-tile destination stays out of the fabric transfer.
+        assert len(plan.transfers) == 1
+        assert plan.transfers[0].dst_tiles == (3,)
+        assert plan.transfers[0].nbytes == 8
+        assert plan.local_cycles == 1  # ceil(8 B / 8 B-per-cycle)
+
+
+class TestFastBackend:
+    def _program(self, backend):
+        g = make_graph()
+        v = g.add_variable("x", (8,))
+        a = g.add_variable("a", (8,))
+        v.scatter(np.arange(8))
+        root = Sequence([
+            Repeat(3, Execute(inc_cs(v, 0.5))),
+            Exchange([RegionCopy(v, 0, 0, ((a, 3, 0),), 2)]),
+        ])
+        eng = Engine(compile_program(g, root, optimize=False), backend=backend)
+        eng.run()
+        return g, eng
+
+    def test_numerics_bit_identical_to_sim(self):
+        g_sim, eng_sim = self._program("sim")
+        g_fast, eng_fast = self._program("fast")
+        np.testing.assert_array_equal(
+            eng_sim.read(g_sim.variables["x"]), eng_fast.read(g_fast.variables["x"])
+        )
+        np.testing.assert_array_equal(
+            eng_sim.read(g_sim.variables["a"]), eng_fast.read(g_fast.variables["a"])
+        )
+
+    def test_no_cycle_accounting(self):
+        g, eng = self._program("fast")
+        assert g.device.profiler.total_cycles == 0
+        assert eng.backend.name == "fast"
+        # Engine-level counters still track control flow.
+        assert eng.supersteps == 3
+        assert eng.exchanges == 1
+        assert eng.loop_iterations == 3
+
+    def test_sim_accounts_cycles(self):
+        g, eng = self._program("sim")
+        prof = g.device.profiler
+        sync = g.device.model.sync()
+        assert prof.category("control") == 3 * CONTROL_CYCLES
+        assert prof.category("elementwise") == 3 * (sync + 12)
+        assert prof.category("exchange") > 0
+
+    def test_solve_fast_matches_sim_bit_for_bit(self):
+        from repro.solvers import solve
+        from repro.sparse import poisson2d
+
+        crs, dims = poisson2d(8)
+        b = np.ones(64)
+        cfg = '{"solver": "cg", "tol": 1e-8, "max_iterations": 40}'
+        sim = solve(crs, b, cfg, tiles_per_ipu=4, grid_dims=dims, backend="sim")
+        fast = solve(crs, b, cfg, tiles_per_ipu=4, grid_dims=dims, backend="fast")
+        np.testing.assert_array_equal(sim.x, fast.x)
+        assert sim.stats.total_iterations == fast.stats.total_iterations
+        assert sim.backend == "sim" and fast.backend == "fast"
+        assert sim.cycles > 0
+        assert fast.cycles == 0
