@@ -12,9 +12,16 @@ total cycles than the no-pass baseline, with bit-identical results.
 
 import numpy as np
 
-from repro.bench import backend_wallclock, ipu_spmv_run, print_series, save_result
+from repro.bench import (
+    backend_wallclock,
+    ipu_spmv_run,
+    print_series,
+    save_result,
+    save_trace,
+)
 from repro.solvers import solve
 from repro.sparse import poisson3d
+from repro.telemetry import Tracer, validate_chrome_trace
 
 GRID = 40  # 64,000 rows / 438,400 entries — laptop-scale stand-in for 200³
 IPUS = [1, 2, 4, 8, 16]
@@ -148,6 +155,45 @@ def test_fig5_backend_wallclock():
             "tiles_per_ipu": TILES_PER_IPU,
             "bit_identical": cmp["bit_identical"],
             "sim_cycles": cmp["sim_cycles"],
+        },
+    )
+
+
+def test_fig5_trace_artifact():
+    """Telemetry acceptance on a Fig. 5 configuration: tracing must observe
+    without perturbing (bit-identical cycles), the Chrome export must pass
+    the schema check, and the trace + report land under
+    ``benchmarks/results/`` for the CI artifact."""
+    crs, dims = poisson3d(16)
+    tracer = Tracer()
+    traced = ipu_spmv_run(crs, grid_dims=dims, num_ipus=2,
+                          tiles_per_ipu=TILES_PER_IPU, repeats=4, tracer=tracer)
+    plain = ipu_spmv_run(crs, grid_dims=dims, num_ipus=2,
+                         tiles_per_ipu=TILES_PER_IPU, repeats=4)
+    assert traced.total_cycles == plain.total_cycles
+    assert traced.exchange_cycles == plain.exchange_cycles
+
+    assert validate_chrome_trace(tracer.to_chrome()) == []
+    report = tracer.report()
+    assert report.compute_phases == 4  # coalesced: one SpMV superstep per repeat
+    assert report.exchange_phases == traced.exchange_phases
+    assert report.compute_cycles + report.exchange_cycles <= report.wall_cycles
+    assert report.hottest and report.hottest[0][1] == "spmv"
+    assert report.sram["max_bytes"] > 0
+
+    save_trace("fig5_spmv", tracer)
+    save_result(
+        "fig5_spmv_trace_report",
+        report.render(),
+        data={
+            "wall_cycles": report.wall_cycles,
+            "compute_cycles": report.compute_cycles,
+            "exchange_cycles": report.exchange_cycles,
+            "compute_phases": report.compute_phases,
+            "exchange_phases": report.exchange_phases,
+            "mean_imbalance": report.mean_imbalance,
+            "max_imbalance": report.max_imbalance,
+            "exchange": report.exchange,
         },
     )
 

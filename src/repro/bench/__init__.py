@@ -6,6 +6,7 @@ from repro.bench.harness import (
     print_series,
     print_table,
     save_result,
+    save_trace,
     SpMVRun,
 )
 
@@ -13,6 +14,7 @@ __all__ = [
     "print_table",
     "print_series",
     "save_result",
+    "save_trace",
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",

@@ -26,6 +26,7 @@ __all__ = [
     "print_table",
     "print_series",
     "save_result",
+    "save_trace",
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",
@@ -74,6 +75,19 @@ def save_result(name: str, text: str, data=None) -> Path:
     return path
 
 
+def save_trace(name: str, tracer) -> Path:
+    """Persist a telemetry trace artifact as Chrome ``trace_event`` JSON.
+
+    Writes ``benchmarks/results/<name>.trace.json`` — deterministic like the
+    other artifacts (cycle-domain timestamps, no wall-clock) — and returns
+    the path.  Load it in Perfetto or feed it to ``repro trace-report``.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.trace.json"
+    tracer.to_chrome(path)
+    return path
+
+
 @dataclass
 class SpMVRun:
     """Cycle breakdown of one SpMV on the simulated device."""
@@ -106,13 +120,15 @@ class SpMVRun:
 
 def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16,
                  repeats: int = 1, optimize: bool = True,
-                 backend: str = "sim") -> SpMVRun:
+                 backend: str = "sim", tracer=None) -> SpMVRun:
     """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown.
 
     ``optimize=False`` executes the raw schedule without the graph
     compiler's passes — the no-pass baseline of the compile ablations.
     ``backend`` selects the runtime backend (``"fast"`` reports zero
     cycles — use it only when the numerics are the measurement).
+    ``tracer`` attaches a :class:`~repro.telemetry.Tracer`; pair with
+    :func:`save_trace` to persist the timeline as a bench artifact.
     """
     device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
     ctx = TensorContext(device)
@@ -124,7 +140,7 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         A.spmv(x, y)
     else:
         ctx.Repeat(repeats, lambda: A.spmv(x, y))
-    engine = ctx.run(optimize=optimize, backend=backend)
+    engine = ctx.run(optimize=optimize, backend=backend, tracer=tracer)
     compiled = engine.compiled
     prof = device.profiler
     total = prof.total_cycles // repeats

@@ -14,6 +14,10 @@ Examples::
     python -m repro.cli compile-report --matrix poisson2d:8 \\
         --config '{"solver": "cg", "tol": 1e-6}' --tree
 
+    # Record a Chrome trace of a CG solve and summarize it
+    python -m repro.cli solve --matrix poisson:32 --config cg --trace t.json
+    python -m repro.cli trace-report t.json --check
+
     # Show the device spec sheet
     python -m repro.cli info
 """
@@ -30,7 +34,7 @@ __all__ = ["main"]
 
 
 def _load_matrix(spec: str):
-    """``poisson3d:N`` / ``poisson2d:N`` / ``g3|afshell|geo|hook[:size]`` /
+    """``poisson[2d|3d]:N`` / ``g3|afshell|geo|hook[:size]`` /
     a Matrix-Market path."""
     from repro.sparse import poisson2d, poisson3d
     from repro.sparse.suitesparse import (
@@ -45,7 +49,7 @@ def _load_matrix(spec: str):
     if name == "poisson3d":
         m, dims = poisson3d(int(arg or 16))
         return m, dims
-    if name == "poisson2d":
+    if name in ("poisson2d", "poisson"):
         m, dims = poisson2d(int(arg or 32))
         return m, dims
     generators = {
@@ -71,6 +75,8 @@ def _cmd_solve(args) -> int:
     else:
         b = np.random.default_rng(args.seed).standard_normal(matrix.n)
 
+    if args.trace and args.backend != "sim":
+        raise SystemExit("--trace requires the cycle-accurate sim backend")
     result = solve(
         matrix,
         b,
@@ -79,6 +85,7 @@ def _cmd_solve(args) -> int:
         tiles_per_ipu=args.tiles,
         grid_dims=dims,
         backend=args.backend,
+        trace=args.trace,
     )
     print(f"matrix:            n={matrix.n} nnz={matrix.nnz}")
     print(f"iterations:        {result.iterations}")
@@ -93,9 +100,38 @@ def _cmd_solve(args) -> int:
             print(f"  {cat:<22s} {frac:6.1%}")
         if result.compiled is not None:
             print(result.compile_report)
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"({len(result.telemetry)} events; view with Perfetto or "
+              f"'repro trace-report')")
     if args.output:
         np.save(args.output, result.x)
         print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    """Aggregate a trace file (Chrome or NDJSON) into a readable report."""
+    import json
+
+    from repro.telemetry import TelemetryReport, load_trace, validate_chrome_trace
+
+    path = Path(args.trace)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    if args.check:
+        text = path.read_text().lstrip()
+        if not text.startswith("{"):
+            raise SystemExit(f"{path}: --check expects a Chrome trace_event JSON file")
+        errors = validate_chrome_trace(json.loads(text))
+        if errors:
+            for err in errors[:20]:
+                print(f"schema error: {err}", file=sys.stderr)
+            raise SystemExit(f"{path}: invalid Chrome trace ({len(errors)} errors)")
+        print(f"{path}: valid Chrome trace")
+    events, meta = load_trace(path)
+    report = TelemetryReport.from_events(events, meta=meta, top=args.top)
+    print(report.render())
     return 0
 
 
@@ -148,9 +184,10 @@ def main(argv=None) -> int:
 
     p_solve = sub.add_parser("solve", help="solve a sparse linear system")
     p_solve.add_argument("--matrix", required=True,
-                         help="poisson3d:N | poisson2d:N | g3|afshell|geo|hook[:size] | file.mtx")
+                         help="poisson[2d|3d]:N | g3|afshell|geo|hook[:size] | file.mtx")
     p_solve.add_argument("--config", required=True,
-                         help="solver config: JSON string or path to a .json file")
+                         help="solver config: JSON string, path to a .json file, or a "
+                              "bare solver name like 'cg'")
     p_solve.add_argument("--rhs", help="right-hand side as a .npy file (default: random)")
     p_solve.add_argument("--ipus", type=int, default=1)
     p_solve.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
@@ -159,8 +196,22 @@ def main(argv=None) -> int:
                          help="runtime backend: cycle-accurate sim (default) or "
                               "numerics-only fast (docs/runtime.md)")
     p_solve.add_argument("--profile", action="store_true", help="print the cycle breakdown")
+    p_solve.add_argument("--trace",
+                         help="write a Chrome trace_event JSON (Perfetto-loadable) of "
+                              "the run; requires --backend sim (docs/observability.md)")
     p_solve.add_argument("--output", help="write the solution vector to a .npy file")
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_trace = sub.add_parser("trace-report",
+                             help="aggregate a --trace file into hot-spot / "
+                                  "imbalance / convergence summaries")
+    p_trace.add_argument("trace", help="trace file (Chrome trace_event JSON or NDJSON)")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="how many hottest compute sets to show")
+    p_trace.add_argument("--check", action="store_true",
+                         help="validate the Chrome trace_event schema first "
+                              "(exit nonzero on violations)")
+    p_trace.set_defaults(fn=_cmd_trace_report)
 
     p_rep = sub.add_parser("compile-report",
                            help="show what the graph compiler does to a solver program")
@@ -185,4 +236,7 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # report piped into head/less and cut short
+        sys.exit(0)

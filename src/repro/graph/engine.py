@@ -43,7 +43,7 @@ class Engine:
     :class:`~repro.graph.runtime.Backend` instance/class.
     """
 
-    def __init__(self, program: CompiledProgram, backend="sim"):
+    def __init__(self, program: CompiledProgram, backend="sim", tracer=None):
         if not isinstance(program, CompiledProgram):
             raise TypeError(
                 "Engine expects a CompiledProgram; lower raw schedules with "
@@ -56,6 +56,9 @@ class Engine:
         self.profiler = self.device.profiler
         self.backend = resolve_backend(backend)
         self.backend.bind(program, self.device)
+        self.tracer = tracer
+        if tracer is not None:
+            self.backend.set_tracer(tracer)
         # Execution statistics (compile-proxy counters live in compiler.py).
         self.supersteps = 0
         self.exchanges = 0
@@ -84,6 +87,8 @@ class Engine:
     def run(self) -> None:
         """Execute the compiled program's root step."""
         self._run_step(self.compiled.root)
+        if self.tracer is not None:
+            self.tracer.finalize()
 
     def _run_step(self, step: Step) -> None:
         if isinstance(step, Sequence):

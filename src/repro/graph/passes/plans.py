@@ -104,6 +104,7 @@ class TilePlan:
 class ComputePlan:
     """Frozen execution plan of one ``Execute`` step."""
 
+    name: str  # compute-set name (telemetry groups hot sets by this)
     category: str
     tiles: tuple  # of TilePlan, in first-seen tile order
     dispatch: tuple  # flat run callables across tiles, in execution order
@@ -185,7 +186,11 @@ def _plan_compute_set(cs: ComputeSet, workers: int) -> ComputePlan:
         tiles.append(TilePlan(tile_id, tuple(runs), makespan))
         dispatch.extend(runs)
     return ComputePlan(
-        category=category, tiles=tuple(tiles), dispatch=tuple(dispatch), worst_tile=worst
+        name=cs.name,
+        category=category,
+        tiles=tuple(tiles),
+        dispatch=tuple(dispatch),
+        worst_tile=worst,
     )
 
 

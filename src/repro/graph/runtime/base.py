@@ -57,10 +57,25 @@ class Backend(ABC):
 
     name = "backend"
 
+    #: Telemetry hook (:mod:`repro.telemetry`).  ``None`` means disabled —
+    #: backends guard every emission behind one ``is None`` check, so a run
+    #: without a tracer executes exactly the pre-telemetry code path.
+    tracer = None
+
     def bind(self, compiled, device) -> None:
         self.compiled = compiled
         self.plans = compiled.plans
         self.device = device
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.telemetry.Tracer` (after :meth:`bind`).
+
+        Backends that cannot produce a meaningful timeline override this to
+        reject the tracer instead of recording an empty trace.
+        """
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.device)
 
     def plan_for(self, step):
         return self.plans.plan_for(step)

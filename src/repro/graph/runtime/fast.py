@@ -26,6 +26,15 @@ class FastBackend(Backend):
 
     name = "fast"
 
+    def set_tracer(self, tracer) -> None:
+        """The fast backend has no cycle clock, so a trace would be a flat
+        line of zero-timestamp events; reject it instead of recording one."""
+        if tracer is not None:
+            raise ValueError(
+                "tracing requires a cycle-accurate backend; run with "
+                "backend='sim' (docs/observability.md)"
+            )
+
     def bind(self, compiled, device) -> None:
         super().bind(compiled, device)
         # Per-step dispatch cache: id(step) -> the work to replay.  Plans

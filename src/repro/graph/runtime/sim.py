@@ -8,9 +8,17 @@ labeled steps open hierarchical profiler scopes.  The only difference is
 that the structure — vertex groupings, LPT packing, transfer lists,
 vectorized copy ops — comes precomputed from the execution plans, so the
 hot path does no per-step re-derivation.
+
+This is also the backend that feeds the telemetry layer: with a tracer
+attached (:meth:`Backend.set_tracer`) every superstep emits a structured
+event *after* its cycles are recorded, so tracing observes the run without
+perturbing it — traced and untraced executions are bit-identical in both
+tensors and cycle counts (``docs/observability.md``).
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 from repro.graph.runtime.base import Backend, CONTROL_CYCLES, register_backend
 
@@ -33,17 +41,39 @@ class SimBackend(Backend):
         plan = self.plan_for(step)
         for run in plan.dispatch:
             run()
-        self.profiler.record(plan.category, self.model.sync() + plan.worst_tile)
+        sync = self.model.sync()
+        cost = sync + plan.worst_tile
+        self.profiler.record(plan.category, cost)
+        if self.tracer is not None:
+            self.tracer.compute_phase(
+                plan, self.profiler.total_cycles - cost, cost, sync
+            )
 
     def run_exchange(self, step) -> None:
         plan = self.plan_for(step)
         for op in plan.ops:
             op.apply()
         phase = self.fabric.run(plan.transfers)
-        self.profiler.record(plan.name, phase.cycles + plan.local_cycles)
+        cost = phase.cycles + plan.local_cycles
+        self.profiler.record(plan.name, cost)
+        if self.tracer is not None:
+            self.tracer.exchange_phase(
+                plan, phase, self.profiler.total_cycles - cost, cost
+            )
 
     def control(self) -> None:
         self.profiler.record("control", CONTROL_CYCLES)
+        if self.tracer is not None:
+            self.tracer.control(
+                self.profiler.total_cycles - CONTROL_CYCLES, CONTROL_CYCLES
+            )
 
     def scope(self, label: str):
-        return self.profiler.step(label)
+        if self.tracer is None:
+            return self.profiler.step(label)
+        return self._traced_scope(label)
+
+    @contextmanager
+    def _traced_scope(self, label: str):
+        with self.profiler.step(label), self.tracer.scope(label):
+            yield

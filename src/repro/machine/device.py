@@ -77,11 +77,15 @@ class IPUDevice:
         return self.seconds(cycles) * self.WATTS_PER_IPU * self.num_ipus
 
     def sram_report(self) -> dict:
-        """Peak/total SRAM usage — partitioning sanity checks use this."""
+        """Current/peak SRAM usage — partitioning sanity checks and the
+        telemetry layer's per-tile high-water marks use this."""
         used = [t.bytes_used for t in self.tiles]
+        peak = [t.bytes_peak for t in self.tiles]
         return {
             "max_tile_bytes": max(used, default=0),
             "total_bytes": sum(used),
+            "max_tile_peak_bytes": max(peak, default=0),
+            "per_tile_peak_bytes": peak,
             "capacity_per_tile": self.spec.sram_per_tile,
         }
 

@@ -54,13 +54,33 @@ class Profiler:
     def by_category(self) -> dict:
         return dict(self._by_category)
 
-    def by_path(self) -> dict:
-        return dict(self._by_path)
+    def by_path(self, inclusive: bool = True) -> dict:
+        """Cycles per step path.
+
+        ``inclusive`` (the default) rolls nested records up into every
+        ancestor path, so ``solve:cg`` includes the cycles recorded under
+        ``solve:cg/cg.iterate`` — the hierarchical view Table IV needs.
+        ``inclusive=False`` returns only each path's own (exclusive)
+        records.
+        """
+        if not inclusive:
+            return dict(self._by_path)
+        rolled = defaultdict(int)
+        for path, cycles in self._by_path.items():
+            rolled[path] += cycles
+            if path != "<toplevel>":
+                parts = path.split("/")
+                for i in range(1, len(parts)):
+                    rolled["/".join(parts[:i])] += cycles
+        return dict(rolled)
 
     def fractions(self) -> dict:
-        """Relative share of each category — Table IV's columns."""
-        total = self.total_cycles or 1
-        return {k: v / total for k, v in self._by_category.items()}
+        """Relative share of each category — Table IV's columns.
+
+        Empty when nothing was recorded (rather than zeros-over-one)."""
+        if not self.total_cycles:
+            return {}
+        return {k: v / self.total_cycles for k, v in self._by_category.items()}
 
     def category(self, name: str) -> int:
         return self._by_category.get(name, 0)

@@ -22,7 +22,7 @@ class Tile:
     partitioning decisions on a real IPU.
     """
 
-    __slots__ = ("tile_id", "ipu_id", "spec", "memory", "_bytes_used")
+    __slots__ = ("tile_id", "ipu_id", "spec", "memory", "_bytes_used", "_bytes_peak")
 
     def __init__(self, tile_id: int, ipu_id: int, spec: IPUSpec):
         self.tile_id = tile_id
@@ -30,10 +30,17 @@ class Tile:
         self.spec = spec
         self.memory: dict[str, np.ndarray] = {}
         self._bytes_used = 0
+        self._bytes_peak = 0
 
     @property
     def bytes_used(self) -> int:
         return self._bytes_used
+
+    @property
+    def bytes_peak(self) -> int:
+        """High-water mark of SRAM usage over the tile's lifetime — what the
+        telemetry layer reports per tile (frees never lower it)."""
+        return self._bytes_peak
 
     @property
     def bytes_free(self) -> int:
@@ -51,6 +58,8 @@ class Tile:
             )
         self.memory[name] = array
         self._bytes_used += nbytes
+        if self._bytes_used > self._bytes_peak:
+            self._bytes_peak = self._bytes_used
         return array
 
     def free(self, name: str) -> None:

@@ -12,6 +12,7 @@ pass pipeline (:mod:`repro.graph.passes`) into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -35,11 +36,13 @@ class SolveResult:
     cycles: int
     seconds: float  # modeled wall-clock on the IPU
     relative_residual: float  # true ||b - Ax|| / ||b|| computed on the host in f64
+    energy_j: float = 0.0  # modeled energy at the paper's measured power draw
     profile: dict = field(default_factory=dict)  # profiler category fractions
     engine: object = None
     solver: object = None
     compiled: CompiledProgram | None = None  # the executed program artifact
     backend: str = "sim"  # runtime backend the program executed on
+    telemetry: object = None  # Tracer when solve(..., trace=...) was used
 
     @property
     def iterations(self) -> int:
@@ -53,6 +56,18 @@ class SolveResult:
     @property
     def compile_report(self) -> str:
         return self.compiled.report.render() if self.compiled is not None else ""
+
+    def __repr__(self):
+        timing = (
+            f"cycles={self.cycles}, seconds={self.seconds:.3e}, "
+            f"energy_j={self.energy_j:.3e}"
+            if self.backend == "sim"
+            else f"backend={self.backend!r}"
+        )
+        return (
+            f"SolveResult(n={len(self.x)}, iterations={self.iterations}, "
+            f"relative_residual={self.relative_residual:.3e}, {timing})"
+        )
 
 
 def _build_program(
@@ -122,17 +137,36 @@ def solve(
     blockwise_halo: bool = True,
     optimize: bool = True,
     backend: str = "sim",
+    trace=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver described by ``config`` on a
     simulated IPU device.
 
-    ``config`` is a dict / JSON string / path (see
+    ``config`` is a dict / JSON string / path / bare solver name (see
     :mod:`repro.solvers.config`).  ``grid_dims`` enables the structured
     partitioner for stencil matrices.  ``optimize=False`` skips the graph
     compiler's optimization passes (the no-pass ablation baseline).
     ``backend="fast"`` executes numerics only (bit-identical solution,
     zero reported cycles) — see ``docs/runtime.md``.
+
+    ``trace`` enables telemetry (``docs/observability.md``; requires the
+    sim backend): ``True`` collects events into ``SolveResult.telemetry``,
+    a path additionally writes the Chrome ``trace_event`` JSON there, and a
+    :class:`~repro.telemetry.Tracer` instance records into that tracer.
+    Tracing is observational — the traced run is bit-identical in tensors
+    and cycles to an untraced one.
     """
+    from repro.telemetry import Tracer
+
+    tracer = None
+    trace_path = None
+    if isinstance(trace, Tracer):
+        tracer = trace
+    elif isinstance(trace, (str, Path)):
+        tracer, trace_path = Tracer(), trace
+    elif trace:
+        tracer = Tracer()
+
     ctx, solver, xvec, bvec, device = _build_program(
         matrix,
         b,
@@ -146,8 +180,12 @@ def solve(
         blockwise_halo=blockwise_halo,
     )
     compiled = ctx.compile(optimize=optimize)
-    engine = Engine(compiled, backend=backend)
+    engine = Engine(compiled, backend=backend, tracer=tracer)
     engine.run()
+    if tracer is not None:
+        tracer.convergence(solver.stats)
+        if trace_path is not None:
+            tracer.to_chrome(trace_path)
 
     # Prefer the extended-precision solution when the solver kept one.
     if getattr(solver, "x_ext", None) is not None:
@@ -165,10 +203,12 @@ def solve(
         stats=solver.stats,
         cycles=prof.total_cycles,
         seconds=device.seconds(),
+        energy_j=device.energy_j(),
         relative_residual=rel,
         profile=prof.fractions(),
         engine=engine,
         solver=solver,
         compiled=compiled,
         backend=engine.backend.name,
+        telemetry=tracer,
     )

@@ -30,10 +30,19 @@ class SolveStats:
         self.residuals: list[float] = []
         #: Cumulative (inner) iteration count at each record.
         self.iterations: list[int] = []
+        #: Modeled device cycles at each record — the x-axis of the
+        #: residual-vs-cycles convergence telemetry (zero under backends
+        #: without a cycle model).
+        self.cycles: list[int] = []
 
-    def record(self, iteration: int, relative_residual: float) -> None:
+    def record(self, iteration: int, relative_residual: float, cycles: int = 0) -> None:
         self.iterations.append(int(iteration))
         self.residuals.append(float(relative_residual))
+        self.cycles.append(int(cycles))
+
+    def residual_series(self) -> list:
+        """``(cycles, iteration, relative_residual)`` triples, in order."""
+        return list(zip(self.cycles, self.iterations, self.residuals))
 
     @property
     def final_residual(self) -> float:
@@ -92,7 +101,7 @@ class Solver:
         def cb(engine):
             r2 = max(engine.read_scalar(rnorm2_tensor.var), 0.0)
             it = engine.read_scalar(iter_counter.var) if iter_counter is not None else len(stats.residuals)
-            stats.record(int(it), np.sqrt(r2) * scale)
+            stats.record(int(it), np.sqrt(r2) * scale, cycles=engine.profiler.total_cycles)
 
         return cb
 

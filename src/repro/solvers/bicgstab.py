@@ -130,7 +130,8 @@ class PBiCGStab(Solver):
                 def record(engine, _r=rnorm2.var, _i=it.var):
                     r2 = max(engine.read_scalar(_r), 0.0)
                     stats.record(
-                        int(engine.read_scalar(_i)), (r2 / bnorm2_host[0]) ** 0.5
+                        int(engine.read_scalar(_i)), (r2 / bnorm2_host[0]) ** 0.5,
+                        cycles=engine.profiler.total_cycles,
                     )
 
                 ctx.callback(record)

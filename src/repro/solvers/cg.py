@@ -101,6 +101,7 @@ class ConjugateGradient(Solver):
                     stats.record(
                         int(engine.read_scalar(_i)),
                         (max(engine.read_scalar(_r), 0.0) / bnorm2_host[0]) ** 0.5,
+                        cycles=engine.profiler.total_cycles,
                     )
 
                 ctx.callback(record)

@@ -53,9 +53,12 @@ SOLVERS = {
 
 
 def load_config(source) -> dict:
-    """Accept a dict, a JSON string, or a path to a JSON file."""
+    """Accept a dict, a JSON string, a path to a JSON file, or a bare
+    solver name (``"cg"`` is shorthand for ``{"solver": "cg"}``)."""
     if isinstance(source, dict):
         return source
+    if isinstance(source, str) and source in SOLVERS:
+        return {"solver": source}
     if isinstance(source, (str, Path)):
         p = Path(source)
         if p.suffix == ".json" and p.exists():

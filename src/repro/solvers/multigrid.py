@@ -218,7 +218,8 @@ class Multigrid(Solver):
 
             def record(engine, _r=rnorm2.var, _i=it.var):
                 stats.record(int(engine.read_scalar(_i)),
-                             max(engine.read_scalar(_r), 0.0) ** 0.5)
+                             max(engine.read_scalar(_r), 0.0) ** 0.5,
+                             cycles=engine.profiler.total_cycles)
 
             ctx.callback(record)
 

@@ -1,0 +1,53 @@
+"""The structured event model behind the telemetry subsystem.
+
+Three event kinds, directly mirroring the Chrome ``trace_event`` vocabulary
+(PopVision's Graph Analyser exposes the same primitives):
+
+- :class:`SpanEvent` — a named interval on the BSP timeline (a compute
+  superstep, an exchange phase, a labeled program scope, a control
+  decision).  Timestamps are **cycles** of modeled program time; exporters
+  convert to microseconds using the device clock.
+- :class:`CounterEvent` — one or more named series sampled at a cycle
+  (per-superstep load imbalance, exchange bytes, solver residual).
+- :class:`InstantEvent` — a point-in-time marker carrying structured args
+  (per-tile SRAM high-water marks, per-tile busy totals).
+
+Events are immutable; a trace is just a list of them plus a metadata dict
+(`num_tiles`, `clock_hz`, ...) captured when the tracer binds a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpanEvent", "CounterEvent", "InstantEvent"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A named interval of ``dur`` cycles starting at cycle ``start``."""
+
+    name: str
+    cat: str  # "compute" | "exchange" | "control" | "scope"
+    start: int
+    dur: int
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """Named numeric series sampled at cycle ``ts`` (one track per name)."""
+
+    name: str
+    ts: int
+    values: dict  # series label -> number
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point-in-time marker at cycle ``ts`` with structured ``args``."""
+
+    name: str
+    cat: str
+    ts: int
+    args: dict = field(default_factory=dict)

@@ -1,0 +1,212 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and newline-delimited JSON.
+
+The Chrome format is the interchange format PopVision, Perfetto, and
+``chrome://tracing`` all speak: a ``traceEvents`` list of complete spans
+(``ph: "X"``), counter samples (``ph: "C"``), instants (``ph: "i"``), and
+metadata records (``ph: "M"``).  Timestamps are microseconds of modeled IPU
+time (cycles / ``clock_hz``); the cycle clock rate travels in the top-level
+``metadata`` block so :func:`load_trace` can convert back losslessly.
+
+The NDJSON format keeps raw cycle timestamps, one event per line, with a
+leading ``{"kind": "meta", ...}`` record — the bench harness diffs these
+mechanically without a trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.events import CounterEvent, InstantEvent, SpanEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome",
+    "write_ndjson",
+    "load_trace",
+    "validate_chrome_trace",
+]
+
+#: Fallback clock when a trace carries no metadata (the Mk2 rate).
+DEFAULT_CLOCK_HZ = 1.33e9
+
+PID = 0  # one simulated device per trace
+TID = 0  # the BSP program is a single sequential timeline
+
+
+def _event_ts(ev) -> int:
+    return ev.start if isinstance(ev, SpanEvent) else ev.ts
+
+
+def chrome_trace(events, meta: dict | None = None) -> dict:
+    """Render ``events`` as a Chrome ``trace_event`` JSON object."""
+    meta = dict(meta or {})
+    clock_hz = float(meta.get("clock_hz", DEFAULT_CLOCK_HZ))
+    scale = 1e6 / clock_hz  # cycles -> microseconds
+
+    trace_events: list[dict] = [
+        {"ph": "M", "pid": PID, "tid": TID, "name": "process_name",
+         "args": {"name": "repro simulated IPU"}},
+        {"ph": "M", "pid": PID, "tid": TID, "name": "thread_name",
+         "args": {"name": "BSP program"}},
+    ]
+    for ev in sorted(events, key=_event_ts):
+        if isinstance(ev, SpanEvent):
+            trace_events.append({
+                "ph": "X", "pid": PID, "tid": TID,
+                "name": ev.name, "cat": ev.cat,
+                "ts": ev.start * scale, "dur": ev.dur * scale,
+                "args": ev.args,
+            })
+        elif isinstance(ev, CounterEvent):
+            # Every args key becomes one series on the counter track, so the
+            # args dict carries the sampled values and nothing else.
+            trace_events.append({
+                "ph": "C", "pid": PID, "name": ev.name,
+                "ts": ev.ts * scale, "args": ev.values,
+            })
+        elif isinstance(ev, InstantEvent):
+            trace_events.append({
+                "ph": "i", "s": "g", "pid": PID, "tid": TID,
+                "name": ev.name, "cat": ev.cat,
+                "ts": ev.ts * scale, "args": ev.args,
+            })
+        else:
+            raise TypeError(f"unknown telemetry event: {ev!r}")
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {**meta, "clock_hz": clock_hz, "ts_unit": "us"},
+    }
+
+
+def write_chrome(events, path, meta: dict | None = None) -> dict:
+    """Write the Chrome trace to ``path`` and return the JSON object."""
+    obj = chrome_trace(events, meta=meta)
+    Path(path).write_text(json.dumps(obj, indent=1) + "\n")
+    return obj
+
+
+def write_ndjson(events, path, meta: dict | None = None) -> None:
+    """Write one JSON object per line, cycle-domain timestamps."""
+    lines = [json.dumps({"kind": "meta", **(meta or {})})]
+    for ev in sorted(events, key=_event_ts):
+        if isinstance(ev, SpanEvent):
+            rec = {"kind": "span", "name": ev.name, "cat": ev.cat,
+                   "start": ev.start, "dur": ev.dur, "args": ev.args}
+        elif isinstance(ev, CounterEvent):
+            rec = {"kind": "counter", "name": ev.name, "ts": ev.ts,
+                   "values": ev.values}
+        elif isinstance(ev, InstantEvent):
+            rec = {"kind": "instant", "name": ev.name, "cat": ev.cat,
+                   "ts": ev.ts, "args": ev.args}
+        else:
+            raise TypeError(f"unknown telemetry event: {ev!r}")
+        lines.append(json.dumps(rec))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path):
+    """Load a trace written by either exporter.
+
+    Returns ``(events, meta)`` with cycle-domain timestamps reconstructed —
+    Chrome traces convert microseconds back through ``metadata.clock_hz``.
+    """
+    text = Path(path).read_text()
+    first = text.lstrip()[:1]
+    if first == "{" and '"traceEvents"' in text[:4096]:
+        return _load_chrome(json.loads(text))
+    events = []
+    meta: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("kind")
+        if kind == "meta":
+            meta = {k: v for k, v in rec.items() if k != "kind"}
+        elif kind == "span":
+            events.append(SpanEvent(rec["name"], rec["cat"], rec["start"],
+                                    rec["dur"], rec.get("args", {})))
+        elif kind == "counter":
+            events.append(CounterEvent(rec["name"], rec["ts"], rec["values"]))
+        elif kind == "instant":
+            events.append(InstantEvent(rec["name"], rec["cat"], rec["ts"],
+                                       rec.get("args", {})))
+        else:
+            raise ValueError(f"unknown NDJSON record kind: {kind!r}")
+    return events, meta
+
+
+def _load_chrome(obj: dict):
+    meta = dict(obj.get("metadata", {}))
+    clock_hz = float(meta.get("clock_hz", DEFAULT_CLOCK_HZ))
+    to_cycles = clock_hz / 1e6
+
+    def cyc(us) -> int:
+        return round(us * to_cycles)
+
+    events = []
+    for rec in obj.get("traceEvents", []):
+        ph = rec.get("ph")
+        if ph == "M":
+            continue
+        if ph == "X":
+            events.append(SpanEvent(rec["name"], rec.get("cat", ""),
+                                    cyc(rec["ts"]), cyc(rec["dur"]),
+                                    rec.get("args", {})))
+        elif ph == "C":
+            events.append(CounterEvent(rec["name"], cyc(rec["ts"]),
+                                       rec.get("args", {})))
+        elif ph == "i":
+            events.append(InstantEvent(rec["name"], rec.get("cat", ""),
+                                       cyc(rec["ts"]), rec.get("args", {})))
+        else:
+            raise ValueError(f"unknown trace_event phase: {ph!r}")
+    return events, meta
+
+
+def validate_chrome_trace(obj) -> list:
+    """Schema check of a Chrome trace object; returns a list of errors
+    (empty = valid).  This is what the CI bench-smoke job runs against the
+    ``--trace`` artifact before uploading it."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    te = obj.get("traceEvents")
+    if not isinstance(te, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, rec in enumerate(te):
+        where = f"traceEvents[{i}]"
+        if not isinstance(rec, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = rec.get("ph")
+        if ph not in ("X", "C", "i", "M"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(rec.get("name"), str) or not rec["name"]:
+            errors.append(f"{where}: missing event name")
+        if "pid" not in rec:
+            errors.append(f"{where}: missing pid")
+        if ph == "M":
+            continue
+        ts = rec.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = rec.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad dur {dur!r}")
+            if "tid" not in rec:
+                errors.append(f"{where}: span missing tid")
+        if ph == "C":
+            args = rec.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter needs non-empty args")
+            elif any(not isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: counter args must be numeric")
+        if ph == "i" and rec.get("s") not in ("g", "p", "t", None):
+            errors.append(f"{where}: bad instant scope {rec.get('s')!r}")
+    return errors

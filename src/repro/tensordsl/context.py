@@ -330,13 +330,17 @@ class TensorContext:
         """
         return compile_program(self.graph, self.root, passes=passes, optimize=optimize)
 
-    def run(self, optimize: bool = True, passes=None, backend="sim") -> Engine:
+    def run(self, optimize: bool = True, passes=None, backend="sim", tracer=None) -> Engine:
         """Compile the generated schedule and execute it on the machine model.
 
         ``backend`` selects the runtime: ``"sim"`` (cycle-accurate, the
         default) or ``"fast"`` (bit-identical numerics, no cycle
-        accounting) — see ``docs/runtime.md``.
+        accounting) — see ``docs/runtime.md``.  ``tracer`` attaches a
+        :class:`~repro.telemetry.Tracer` to the backend
+        (``docs/observability.md``); requires the sim backend.
         """
-        engine = Engine(self.compile(optimize=optimize, passes=passes), backend=backend)
+        engine = Engine(
+            self.compile(optimize=optimize, passes=passes), backend=backend, tracer=tracer
+        )
         engine.run()
         return engine

@@ -97,7 +97,7 @@ class TestProfiler:
         assert p.category("spmv") == 125
         assert p.fractions()["reduce"] == pytest.approx(50 / 175)
 
-    def test_step_paths(self):
+    def test_step_paths_roll_up_to_ancestors(self):
         p = Profiler()
         with p.step("solver"):
             with p.step("iteration"):
@@ -106,14 +106,52 @@ class TestProfiler:
         p.record("other", 1)
         paths = p.by_path()
         assert paths["solver/iteration"] == 10
-        assert paths["solver"] == 5
+        # Inclusive by default: the parent sees its own 5 plus the nested 10.
+        assert paths["solver"] == 15
         assert paths["<toplevel>"] == 1
+        exclusive = p.by_path(inclusive=False)
+        assert exclusive["solver"] == 5
+        assert exclusive["solver/iteration"] == 10
+
+    def test_deep_rollup_spans_missing_intermediate(self):
+        # A record three levels down must surface at every ancestor, even
+        # when no cycles were recorded directly at the intermediate levels.
+        p = Profiler()
+        with p.step("a"), p.step("b"), p.step("c"):
+            p.record("spmv", 7)
+        paths = p.by_path()
+        assert paths["a"] == paths["a/b"] == paths["a/b/c"] == 7
+        assert "a/b" not in p.by_path(inclusive=False)
+
+    def test_fractions_empty_when_nothing_recorded(self):
+        assert Profiler().fractions() == {}
+
+    def test_nested_scope_stack_unwinds_on_error(self):
+        p = Profiler()
+        with pytest.raises(RuntimeError):
+            with p.step("outer"):
+                with p.step("inner"):
+                    raise RuntimeError("boom")
+        p.record("x", 3)
+        assert p.by_path() == {"<toplevel>": 3}
+
+    def test_reset_mid_run_clears_everything(self):
+        p = Profiler()
+        with p.step("solver"):
+            p.record("x", 10)
+            p.reset()
+            # The scope stack survives a reset; only counters clear.
+            p.record("y", 2)
+        assert p.total_cycles == 2
+        assert p.by_category() == {"y": 2}
+        assert p.by_path() == {"solver": 2}
 
     def test_reset(self):
         p = Profiler()
         p.record("x", 10)
         p.reset()
         assert p.total_cycles == 0 and p.by_category() == {}
+        assert p.fractions() == {}
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

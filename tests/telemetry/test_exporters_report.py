@@ -1,0 +1,185 @@
+"""Exporter round-trips, Chrome-trace schema validation, and report math."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    CounterEvent,
+    InstantEvent,
+    SpanEvent,
+    TelemetryReport,
+    chrome_trace,
+    load_trace,
+    validate_chrome_trace,
+    write_chrome,
+    write_ndjson,
+)
+from repro.telemetry.report import IMBALANCE_BUCKETS
+
+CLOCK_HZ = 1.33e9
+META = {"num_ipus": 1, "tiles_per_ipu": 4, "num_tiles": 4, "clock_hz": CLOCK_HZ}
+
+
+def sample_events():
+    return [
+        SpanEvent("solve:cg", "scope", 0, 1000, {}),
+        SpanEvent("cs_spmv", "compute", 0, 400,
+                  {"category": "spmv", "imbalance": 1.2, "tiles": 4}),
+        CounterEvent("imbalance", 0, {"worst/mean": 1.2}),
+        SpanEvent("exchange", "exchange", 400, 300,
+                  {"total_bytes": 800, "inter_ipu": False, "congestion": 1.5}),
+        SpanEvent("cs_dot", "compute", 700, 100,
+                  {"category": "reduce", "imbalance": 1.0, "tiles": 4}),
+        SpanEvent("control", "control", 800, 50, {}),
+        CounterEvent("residual", 850, {"relative_residual": 1e-3,
+                                       "log10_residual": -3.0}),
+        InstantEvent("sram_peak", "memory", 1000,
+                     {"per_tile_bytes": {0: 64}, "max_bytes": 64,
+                      "capacity_bytes": 624 * 1024}),
+    ]
+
+
+class TestChromeExport:
+    def test_schema_valid_and_scaled(self):
+        obj = chrome_trace(sample_events(), meta=META)
+        assert validate_chrome_trace(obj) == []
+        assert obj["metadata"]["clock_hz"] == CLOCK_HZ
+        spans = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        spmv = next(e for e in spans if e["name"] == "cs_spmv")
+        assert spmv["dur"] == pytest.approx(400 * 1e6 / CLOCK_HZ)
+        # Metadata records name the process/thread for the trace viewer.
+        assert {e["name"] for e in obj["traceEvents"] if e["ph"] == "M"} == {
+            "process_name", "thread_name"}
+
+    def test_events_sorted_by_timestamp(self):
+        # Convergence counters are appended post-run; the export re-sorts.
+        events = list(reversed(sample_events()))
+        obj = chrome_trace(events, meta=META)
+        ts = [e["ts"] for e in obj["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_counter_args_carry_only_values(self):
+        obj = chrome_trace(sample_events(), meta=META)
+        counters = [e for e in obj["traceEvents"] if e["ph"] == "C"]
+        for c in counters:
+            assert all(isinstance(v, (int, float)) for v in c["args"].values())
+
+    def test_chrome_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome(sample_events(), path, meta=META)
+        events, meta = load_trace(path)
+        assert meta["clock_hz"] == CLOCK_HZ
+        spmv = next(e for e in events
+                    if isinstance(e, SpanEvent) and e.name == "cs_spmv")
+        # µs -> cycles reconstruction through metadata.clock_hz is lossless.
+        assert (spmv.start, spmv.dur) == (0, 400)
+        residual = next(e for e in events
+                        if isinstance(e, CounterEvent) and e.name == "residual")
+        assert residual.ts == 850
+
+
+class TestNDJSONExport:
+    def test_round_trip_preserves_cycles(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        write_ndjson(sample_events(), path, meta=META)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "meta" and first["clock_hz"] == CLOCK_HZ
+        events, meta = load_trace(path)
+        assert meta["num_tiles"] == 4
+        assert len(events) == len(sample_events())
+        exch = next(e for e in events
+                    if isinstance(e, SpanEvent) and e.cat == "exchange")
+        assert exch.start == 400 and exch.args["total_bytes"] == 800
+
+    def test_both_formats_agree(self, tmp_path):
+        write_chrome(sample_events(), tmp_path / "c.json", meta=META)
+        write_ndjson(sample_events(), tmp_path / "n.ndjson", meta=META)
+        from_chrome, _ = load_trace(tmp_path / "c.json")
+        from_ndjson, _ = load_trace(tmp_path / "n.ndjson")
+        key = lambda e: (e.start if isinstance(e, SpanEvent) else e.ts, e.name)
+        assert [key(e) for e in sorted(from_chrome, key=key)] == \
+               [key(e) for e in sorted(from_ndjson, key=key)]
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"no": "traceEvents"}) != []
+
+    def test_rejects_bad_records(self):
+        bad = {"traceEvents": [
+            {"ph": "Z", "pid": 0, "name": "x", "ts": 0},
+            {"ph": "X", "pid": 0, "name": "", "ts": 0, "dur": 1, "tid": 0},
+            {"ph": "X", "pid": 0, "name": "x", "ts": -5, "dur": 1, "tid": 0},
+            {"ph": "C", "pid": 0, "name": "c", "ts": 0, "args": {}},
+            {"ph": "C", "pid": 0, "name": "c", "ts": 0, "args": {"v": "oops"}},
+        ]}
+        errors = validate_chrome_trace(bad)
+        assert len(errors) == 5
+
+    def test_accepts_valid(self):
+        assert validate_chrome_trace(chrome_trace(sample_events(), META)) == []
+
+
+class TestReportAggregation:
+    def test_phase_totals_and_hottest(self):
+        rep = TelemetryReport.from_events(sample_events(), meta=META)
+        assert rep.wall_cycles == 1000
+        assert rep.compute_cycles == 500 and rep.compute_phases == 2
+        assert rep.exchange_cycles == 300 and rep.exchange_phases == 1
+        assert rep.control_cycles == 50
+        assert rep.hottest[0][:2] == ("cs_spmv", "spmv")
+        assert rep.hottest[0][4] == pytest.approx(0.4)  # share of wall
+        assert rep.scopes == [("solve:cg", 1000, 1)]
+
+    def test_hottest_merges_repeated_sets_and_honors_top(self):
+        events = [SpanEvent("cs_a", "compute", i * 10, 10,
+                            {"category": "spmv", "imbalance": 1.0})
+                  for i in range(5)]
+        events += [SpanEvent(f"cs_{n}", "compute", 50 + i * 10, 1,
+                             {"category": "axpy", "imbalance": 1.0})
+                   for i, n in enumerate("bcd")]
+        rep = TelemetryReport.from_events(events, top=2)
+        assert len(rep.hottest) == 2
+        assert rep.hottest[0] == ("cs_a", "spmv", 50, 5, pytest.approx(50 / 71))
+
+    def test_imbalance_histogram_buckets(self):
+        events = [SpanEvent("cs", "compute", i, 1, {"imbalance": v})
+                  for i, v in enumerate([1.0, 1.07, 1.3, 5.0])]
+        rep = TelemetryReport.from_events(events)
+        assert rep.imbalance_histogram == {
+            "<= 1.05": 1, "1.05-1.10": 1, "1.25-1.50": 1,
+            f"> {IMBALANCE_BUCKETS[-1]:.2f}": 1}
+        assert rep.max_imbalance == 5.0
+        assert rep.mean_imbalance == pytest.approx((1.0 + 1.07 + 1.3 + 5.0) / 4)
+
+    def test_overlap_summary_is_bsp_serial(self):
+        rep = TelemetryReport.from_events(sample_events(), meta=META)
+        ex = rep.exchange
+        assert ex["overlapped_cycles"] == 0
+        assert ex["compute_share"] == pytest.approx(0.5)
+        assert ex["exchange_share"] == pytest.approx(0.3)
+        # scope span covers the whole wall, so nothing is uncovered beyond
+        # the 150 cycles not inside any compute/exchange/control span.
+        assert ex["uncovered_share"] == pytest.approx(0.15)
+        assert ex["total_bytes"] == 800
+        assert ex["mean_congestion"] == pytest.approx(1.5)
+
+    def test_residual_and_sram_sections(self):
+        rep = TelemetryReport.from_events(sample_events(), meta=META)
+        assert rep.residual == {"points": 1, "first": 1e-3, "last": 1e-3,
+                                "last_cycle": 850}
+        assert rep.sram["max_bytes"] == 64
+
+    def test_empty_trace(self):
+        rep = TelemetryReport.from_events([])
+        assert rep.wall_cycles == 0
+        assert rep.hottest == [] and rep.imbalance_histogram == {}
+        assert "telemetry report" in rep.render()
+
+    def test_render_mentions_key_sections(self):
+        text = TelemetryReport.from_events(sample_events(), meta=META).render()
+        for needle in ("hottest compute sets", "cs_spmv", "load imbalance",
+                       "SRAM high-water", "convergence", "exchange:"):
+            assert needle in text

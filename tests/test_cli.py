@@ -50,6 +50,59 @@ class TestSolveCommand:
             main(["solve", "--matrix", "nonsense:3", "--config", "{}"])
 
 
+class TestTraceCommands:
+    def _trace(self, tmp_path, capsys):
+        """The ISSUE acceptance command: solve with --trace, bare config name,
+        ``poisson:N`` alias."""
+        path = tmp_path / "t.json"
+        rc = main([
+            "solve", "--matrix", "poisson:8", "--config", "cg",
+            "--tiles", "4", "--trace", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+        return path
+
+    def test_solve_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        from repro.telemetry import validate_chrome_trace
+
+        path = self._trace(tmp_path, capsys)
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        spans = [e for e in obj["traceEvents"] if e.get("ph") == "X"]
+        # Labeled scopes and counter tracks made it into the export.
+        assert any(e["cat"] == "scope" and e["name"].startswith("solve:")
+                   for e in spans)
+        counters = {e["name"] for e in obj["traceEvents"] if e.get("ph") == "C"}
+        assert {"residual", "imbalance"} <= counters
+
+    def test_trace_report_renders_summary(self, tmp_path, capsys):
+        path = self._trace(tmp_path, capsys)
+        rc = main(["trace-report", str(path), "--check", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace" in out
+        assert "hottest compute sets (top 3)" in out
+        assert "convergence" in out
+
+    def test_trace_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Q"}]}')
+        with pytest.raises(SystemExit, match="invalid Chrome trace"):
+            main(["trace-report", str(bad), "--check"])
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace-report", str(tmp_path / "missing.json")])
+
+    def test_trace_requires_sim_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="sim"):
+            main([
+                "solve", "--matrix", "poisson:8", "--config", "cg",
+                "--tiles", "4", "--backend", "fast",
+                "--trace", str(tmp_path / "t.json"),
+            ])
+
+
 class TestCompileReportCommand:
     def test_compile_report(self, capsys):
         rc = main([
