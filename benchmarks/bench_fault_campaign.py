@@ -1,0 +1,137 @@
+"""Fault campaign: CG under exchange bit flips (docs/resilience.md).
+
+Runs the Fig. 5 CG configuration (Poisson 12³, 2 IPUs x 16 tiles) under a
+sweep of seeded exchange-bitflip rates with the resilient solve driver
+enabled, and reports the cost of resilience: iterations and cycles paid per
+fault rate, rollbacks taken, and the recovery outcome.  The campaign's
+acceptance properties:
+
+- every faulty run converges to the same tolerance as the clean run
+  (checkpoint/rollback absorbs the corruption),
+- the modeled cost is monotone in the fault rate (faults are never free),
+- the whole campaign is deterministic — same seed, same plan, bit-identical
+  replay — and the clean member is bit-identical to the fault-free solver,
+- an injected tile OOM degrades to fewer tiles and still completes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series, save_result
+from repro.solvers import solve
+from repro.sparse import poisson3d
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+GRID = 12
+NUM_IPUS = 2
+TILES_PER_IPU = 16
+CONFIG = '{"solver": "cg", "tol": 1e-6}'
+SEED = 7
+RATES = [0.0, 0.01, 0.02, 0.03, 0.05]
+#: The device-tracked f32 recurrence residual converges below tol while the
+#: host f64 true residual sits a small factor above it; the driver (and this
+#: campaign) accept one order of magnitude of slack.
+TRUE_RESIDUAL_BOUND = 1e-5
+
+
+def _solve(rate: float | None):
+    crs, dims = poisson3d(GRID)
+    b = np.ones(crs.n)
+    kwargs = dict(num_ipus=NUM_IPUS, tiles_per_ipu=TILES_PER_IPU, grid_dims=dims)
+    if rate:
+        kwargs["inject_faults"] = f"seed={SEED};bitflip:p={rate},where=exchange"
+    if rate is not None:
+        kwargs["resilience"] = True
+    return solve(crs, b, CONFIG, **kwargs)
+
+
+def campaign():
+    return {rate: _solve(rate) for rate in RATES}
+
+
+def test_fault_campaign_artifact(benchmark):
+    runs = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    points = []
+    for rate in RATES:
+        r = runs[rate]
+        rep = r.resilience.to_dict()
+        points.append([
+            rate,
+            rep["faults_injected"],
+            rep["rollbacks"],
+            r.iterations,
+            rep["extra_iterations"],
+            r.cycles,
+            rep["outcome"],
+        ])
+    text = print_series(
+        f"Fault campaign: CG + exchange bit flips "
+        f"(Poisson {GRID}^3, {NUM_IPUS} IPUs x {TILES_PER_IPU} tiles, seed {SEED})",
+        "bitflip p/superstep",
+        ["faults", "rollbacks", "iterations", "extra iters", "cycles", "outcome"],
+        points,
+    )
+    save_result(
+        "fault_campaign",
+        text,
+        data={
+            "grid": GRID,
+            "num_ipus": NUM_IPUS,
+            "tiles_per_ipu": TILES_PER_IPU,
+            "seed": SEED,
+            "runs": {
+                str(rate): {
+                    "iterations": runs[rate].iterations,
+                    "cycles": runs[rate].cycles,
+                    "relative_residual": runs[rate].relative_residual,
+                    **runs[rate].resilience.to_dict(),
+                }
+                for rate in RATES
+            },
+        },
+    )
+
+    # Recovery: every member converges; no run ends failed.
+    for rate in RATES:
+        assert runs[rate].failure is None, f"rate {rate} failed"
+        assert runs[rate].relative_residual <= TRUE_RESIDUAL_BOUND
+        assert runs[rate].resilience.outcome in ("clean", "recovered")
+    # Faults are never free: modeled cost is monotone in the fault rate.
+    cycles = [runs[rate].cycles for rate in RATES]
+    assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+    assert runs[RATES[-1]].resilience.rollbacks > 0  # the top rate forced recovery
+
+
+def test_campaign_replays_bit_identically():
+    """Same seed + spec => identical injections, tensors, cycles, report."""
+    rate = RATES[-1]
+    a, b = _solve(rate), _solve(rate)
+    assert np.array_equal(a.x, b.x)
+    assert a.cycles == b.cycles
+    assert a.resilience.to_dict() == b.resilience.to_dict()
+
+
+def test_campaign_clean_member_matches_unprotected_run():
+    """resilience on + zero faults must cost nothing: bit-identical solution
+    and cycles against a run without the subsystem touched at all."""
+    protected = _solve(0.0)
+    bare = _solve(None)
+    assert np.array_equal(protected.x, bare.x)
+    assert protected.cycles == bare.cycles
+    assert protected.resilience.outcome == "clean"
+    assert bare.resilience is None
+
+
+def test_campaign_tile_oom_degrades_and_completes():
+    crs, dims = poisson3d(GRID)
+    b = np.ones(crs.n)
+    r = solve(crs, b, CONFIG, num_ipus=NUM_IPUS, tiles_per_ipu=TILES_PER_IPU,
+              grid_dims=dims, inject_faults="seed=1;tile_oom:tile=5,at=60",
+              resilience=True)
+    rep = r.resilience
+    assert rep.restarts == 1
+    assert rep.outcome == "degraded"
+    assert rep.final_num_tiles == NUM_IPUS * TILES_PER_IPU // 2
+    assert r.failure is None
+    assert r.relative_residual <= TRUE_RESIDUAL_BOUND

@@ -120,7 +120,7 @@ class SpMVRun:
 
 def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16,
                  repeats: int = 1, optimize: bool = True,
-                 backend: str = "sim", tracer=None) -> SpMVRun:
+                 backend: str = "sim", tracer=None, injector=None) -> SpMVRun:
     """Simulate ``repeats`` SpMVs and return the per-SpMV cycle breakdown.
 
     ``optimize=False`` executes the raw schedule without the graph
@@ -129,6 +129,8 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
     cycles — use it only when the numerics are the measurement).
     ``tracer`` attaches a :class:`~repro.telemetry.Tracer`; pair with
     :func:`save_trace` to persist the timeline as a bench artifact.
+    ``injector`` attaches a :class:`~repro.faults.FaultInjector` (the
+    fault-campaign benches perturb the same program they time).
     """
     device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
     ctx = TensorContext(device)
@@ -140,7 +142,7 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
         A.spmv(x, y)
     else:
         ctx.Repeat(repeats, lambda: A.spmv(x, y))
-    engine = ctx.run(optimize=optimize, backend=backend, tracer=tracer)
+    engine = ctx.run(optimize=optimize, backend=backend, tracer=tracer, injector=injector)
     compiled = engine.compiled
     prof = device.profiler
     total = prof.total_cycles // repeats

@@ -18,8 +18,19 @@ Examples::
     python -m repro.cli solve --matrix poisson:32 --config cg --trace t.json
     python -m repro.cli trace-report t.json --check
 
+    # Inject deterministic faults and recover (docs/resilience.md)
+    python -m repro.cli solve --matrix poisson3d:12 --config cg \\
+        --inject-faults 'seed=7;bitflip:p=0.005,where=exchange' --resilience
+
+    # Normalize / validate a fault spec without running anything
+    python -m repro.cli faults 'seed=7;bitflip:p=0.005;tile_oom:tile=3,at=40'
+
     # Show the device spec sheet
     python -m repro.cli info
+
+Framework errors map to distinct exit codes (see ``repro.errors``):
+10 generic, 11 SRAM overflow, 12 solver breakdown, 13 divergence,
+14 bad fault spec.
 """
 
 from __future__ import annotations
@@ -29,6 +40,8 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.errors import ReproError
 
 __all__ = ["main"]
 
@@ -77,6 +90,8 @@ def _cmd_solve(args) -> int:
 
     if args.trace and args.backend != "sim":
         raise SystemExit("--trace requires the cycle-accurate sim backend")
+    if args.inject_faults and args.backend != "sim":
+        raise SystemExit("--inject-faults requires the cycle-accurate sim backend")
     result = solve(
         matrix,
         b,
@@ -86,10 +101,16 @@ def _cmd_solve(args) -> int:
         grid_dims=dims,
         backend=args.backend,
         trace=args.trace,
+        inject_faults=args.inject_faults,
+        resilience=args.resilience,
     )
     print(f"matrix:            n={matrix.n} nnz={matrix.nnz}")
     print(f"iterations:        {result.iterations}")
     print(f"relative residual: {result.relative_residual:.3e}")
+    if result.failure is not None:
+        print(f"failure:           {result.failure}")
+    if result.resilience is not None:
+        print(f"resilience:        {result.resilience.summary()}")
     if result.backend == "sim":
         print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
     else:
@@ -104,9 +125,35 @@ def _cmd_solve(args) -> int:
         print(f"trace written to {args.trace} "
               f"({len(result.telemetry)} events; view with Perfetto or "
               f"'repro trace-report')")
+    if args.resilience_report:
+        import json
+
+        Path(args.resilience_report).write_text(
+            json.dumps(
+                result.resilience.to_dict() if result.resilience is not None else {},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"resilience report written to {args.resilience_report}")
     if args.output:
         np.save(args.output, result.x)
         print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    """Parse/normalize a fault spec; print (or write) its canonical JSON."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.parse(args.spec)
+    text = plan.to_json(indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"normalized fault plan ({len(plan)} fault(s)) written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -200,7 +247,27 @@ def main(argv=None) -> int:
                          help="write a Chrome trace_event JSON (Perfetto-loadable) of "
                               "the run; requires --backend sim (docs/observability.md)")
     p_solve.add_argument("--output", help="write the solution vector to a .npy file")
+    p_solve.add_argument("--inject-faults", metavar="SPEC",
+                         help="deterministic seeded fault injection; compact grammar "
+                              "like 'seed=7;bitflip:p=0.01,where=exchange', a JSON "
+                              "string, or a .json plan file; requires --backend sim "
+                              "(docs/resilience.md)")
+    p_solve.add_argument("--resilience", nargs="?", const="", default=None,
+                         metavar="CONF",
+                         help="enable detection + checkpoint/rollback recovery; "
+                              "optional 'key=value,...' overrides such as "
+                              "'checkpoint_every=5,max_rollbacks=4' (docs/resilience.md)")
+    p_solve.add_argument("--resilience-report", metavar="PATH",
+                         help="write the resilience report as JSON to PATH")
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_faults = sub.add_parser(
+        "faults", help="parse a fault-injection spec and print its canonical JSON")
+    p_faults.add_argument("spec",
+                          help="compact grammar ('seed=7;bitflip:p=0.01'), JSON string, "
+                               "or .json plan file")
+    p_faults.add_argument("--out", help="write the normalized plan JSON to a file")
+    p_faults.set_defaults(fn=_cmd_faults)
 
     p_trace = sub.add_parser("trace-report",
                              help="aggregate a --trace file into hot-spot / "
@@ -232,7 +299,13 @@ def main(argv=None) -> int:
     p_info.set_defaults(fn=_cmd_info)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # Each framework error family has its own nonzero exit code so
+        # scripts and CI can tell an OOM from a breakdown (repro.errors).
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,109 @@
+"""Unified error hierarchy for the framework.
+
+Every failure the framework raises deliberately derives from
+:class:`ReproError`, so callers can catch one base class, and the CLI can
+map each family to a distinct nonzero exit code instead of a traceback
+(``docs/resilience.md``).  The hierarchy doubles-inherits from the matching
+builtin (``MemoryError``, ``ArithmeticError``, ``ValueError``) so existing
+``except MemoryError`` style handlers keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SRAMOverflowError",
+    "SolverBreakdownError",
+    "DivergenceError",
+    "FaultSpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all deliberate framework errors.
+
+    ``exit_code`` is the process exit status the CLI uses for the family
+    (distinct per subclass, never 0/1/2 which argparse and Python claim).
+    """
+
+    exit_code = 10
+
+
+class SRAMOverflowError(ReproError, MemoryError):
+    """A tensor shard (or injected allocation) no longer fits in a tile's
+    local SRAM.
+
+    Carries the structured context a caller needs to re-partition: the tile
+    id, the requested and free byte counts, and the capacity.  The message
+    always points at ``IPUDevice.sram_report()`` for the per-tile picture.
+    """
+
+    exit_code = 11
+
+    def __init__(
+        self,
+        message: str = "SRAM capacity exceeded",
+        *,
+        tile_id: int | None = None,
+        requested: int | None = None,
+        free: int | None = None,
+        capacity: int | None = None,
+    ):
+        self.tile_id = tile_id
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        detail = []
+        if tile_id is not None:
+            detail.append(f"tile {tile_id}")
+        if requested is not None:
+            part = f"requested {requested} B"
+            if free is not None:
+                part += f", {free} B free"
+            if capacity is not None:
+                part += f" of {capacity} B"
+            detail.append(part)
+        full = f"{message} ({'; '.join(detail)})" if detail else message
+        if detail:
+            full += " — see IPUDevice.sram_report() for per-tile usage"
+        super().__init__(full)
+
+
+class SolverBreakdownError(ReproError, ArithmeticError):
+    """A Krylov recurrence broke down (e.g. ``|rho| ~ 0`` in CG/BiCGStab).
+
+    Only raised when the caller opts in via
+    ``ResilienceConfig(raise_on_failure=True)``; by default a breakdown is
+    reported as ``SolveResult.failure == "breakdown"`` instead.
+    """
+
+    exit_code = 12
+
+    def __init__(self, message: str, *, solver: str | None = None,
+                 iteration: int | None = None):
+        self.solver = solver
+        self.iteration = iteration
+        super().__init__(message)
+
+
+class DivergenceError(ReproError, ArithmeticError):
+    """The solve failed to reach its tolerance — the residual diverged,
+    went NaN/Inf, stagnated, or the iteration budget ran out.
+
+    Like :class:`SolverBreakdownError`, raised only under
+    ``ResilienceConfig(raise_on_failure=True)``.
+    """
+
+    exit_code = 13
+
+    def __init__(self, message: str, *, solver: str | None = None,
+                 reason: str | None = None):
+        self.solver = solver
+        self.reason = reason
+        super().__init__(message)
+
+
+class FaultSpecError(ReproError, ValueError):
+    """A fault-plan spec (``repro.faults``) failed to parse or validate."""
+
+    exit_code = 14

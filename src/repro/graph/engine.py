@@ -43,7 +43,8 @@ class Engine:
     :class:`~repro.graph.runtime.Backend` instance/class.
     """
 
-    def __init__(self, program: CompiledProgram, backend="sim", tracer=None):
+    def __init__(self, program: CompiledProgram, backend="sim", tracer=None,
+                 injector=None):
         if not isinstance(program, CompiledProgram):
             raise TypeError(
                 "Engine expects a CompiledProgram; lower raw schedules with "
@@ -59,6 +60,9 @@ class Engine:
         self.tracer = tracer
         if tracer is not None:
             self.backend.set_tracer(tracer)
+        self.injector = injector
+        if injector is not None:
+            self.backend.set_fault_injector(injector)
         # Execution statistics (compile-proxy counters live in compiler.py).
         self.supersteps = 0
         self.exchanges = 0

@@ -62,6 +62,11 @@ class Backend(ABC):
     #: without a tracer executes exactly the pre-telemetry code path.
     tracer = None
 
+    #: Fault-injection hook (:mod:`repro.faults`), same seam and same
+    #: zero-overhead-off contract as the tracer: ``None`` means the backend
+    #: executes the exact fault-free code path.
+    injector = None
+
     def bind(self, compiled, device) -> None:
         self.compiled = compiled
         self.plans = compiled.plans
@@ -76,6 +81,18 @@ class Backend(ABC):
         self.tracer = tracer
         if tracer is not None:
             tracer.bind(self.device)
+        if self.injector is not None:
+            self.injector.tracer = tracer
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.faults.FaultInjector` (after :meth:`bind`).
+
+        Backends without a superstep cost model override this to reject the
+        injector (fault timing would be meaningless without cycles).
+        """
+        self.injector = injector
+        if injector is not None:
+            injector.bind(self.device, tracer=self.tracer)
 
     def plan_for(self, step):
         return self.plans.plan_for(step)

@@ -35,6 +35,16 @@ class FastBackend(Backend):
                 "backend='sim' (docs/observability.md)"
             )
 
+    def set_fault_injector(self, injector) -> None:
+        """Fault injection is defined on the BSP superstep timeline (stall
+        cycles, superstep-indexed OOM); without a cycle model the plan would
+        replay wrongly, so reject it like a tracer."""
+        if injector is not None:
+            raise ValueError(
+                "fault injection requires the cycle-accurate sim backend "
+                "(docs/resilience.md)"
+            )
+
     def bind(self, compiled, device) -> None:
         super().bind(compiled, device)
         # Per-step dispatch cache: id(step) -> the work to replay.  Plans

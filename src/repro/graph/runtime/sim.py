@@ -48,6 +48,8 @@ class SimBackend(Backend):
             self.tracer.compute_phase(
                 plan, self.profiler.total_cycles - cost, cost, sync
             )
+        if self.injector is not None:
+            self.injector.compute_superstep(plan)
 
     def run_exchange(self, step) -> None:
         plan = self.plan_for(step)
@@ -55,6 +57,11 @@ class SimBackend(Backend):
             op.apply()
         phase = self.fabric.run(plan.transfers)
         cost = phase.cycles + plan.local_cycles
+        if self.injector is not None:
+            # Injection happens after the copies land (corrupting *received*
+            # data) but before the cycles are recorded, so link stalls are
+            # priced into this phase's span.
+            cost += self.injector.exchange_superstep(plan, phase)
         self.profiler.record(plan.name, cost)
         if self.tracer is not None:
             self.tracer.exchange_phase(

@@ -4,13 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import SRAMOverflowError
 from repro.machine.spec import IPUSpec
 
+# Re-exported for backward compatibility: the class now lives in
+# repro.errors so it can participate in the unified error hierarchy.
 __all__ = ["Tile", "SRAMOverflowError"]
-
-
-class SRAMOverflowError(MemoryError):
-    """Raised when a tensor shard no longer fits in the tile's local SRAM."""
 
 
 class Tile:
@@ -53,8 +52,11 @@ class Tile:
         nbytes = int(array.nbytes)
         if nbytes > self.bytes_free:
             raise SRAMOverflowError(
-                f"tile {self.tile_id}: allocating {name!r} ({nbytes} B) exceeds "
-                f"SRAM capacity ({self._bytes_used}/{self.spec.sram_per_tile} B used)"
+                f"allocating shard {name!r} exceeds SRAM capacity",
+                tile_id=self.tile_id,
+                requested=nbytes,
+                free=self.bytes_free,
+                capacity=self.spec.sram_per_tile,
             )
         self.memory[name] = array
         self._bytes_used += nbytes

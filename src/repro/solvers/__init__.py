@@ -18,6 +18,7 @@ from repro.solvers.ilu import DILU, ILU0
 from repro.solvers.jacobi import Jacobi
 from repro.solvers.mpir import MPIR
 from repro.solvers.multigrid import Multigrid
+from repro.solvers.resilience import ResilienceConfig, ResilienceMonitor, ResilienceReport
 from repro.solvers.richardson import Richardson
 from repro.solvers.schur import SchurInterface
 
@@ -38,6 +39,9 @@ __all__ = [
     "Multigrid",
     "Richardson",
     "SchurInterface",
+    "ResilienceConfig",
+    "ResilienceMonitor",
+    "ResilienceReport",
     "SOLVERS",
     "build_solver",
     "load_config",

@@ -11,15 +11,23 @@ pass pipeline (:mod:`repro.graph.passes`) into a
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.errors import DivergenceError, SolverBreakdownError, SRAMOverflowError
 from repro.graph import CompiledProgram, Engine
 from repro.machine import IPUDevice
 from repro.solvers.base import SolveStats
 from repro.solvers.config import build_solver
+from repro.solvers.resilience import (
+    ResilienceConfig,
+    ResilienceMonitor,
+    ResilienceReport,
+    RollbackSignal,
+)
 from repro.sparse.crs import ModifiedCRS
 from repro.sparse.distribute import DistributedMatrix
 from repro.tensordsl import TensorContext, Type
@@ -43,10 +51,17 @@ class SolveResult:
     compiled: CompiledProgram | None = None  # the executed program artifact
     backend: str = "sim"  # runtime backend the program executed on
     telemetry: object = None  # Tracer when solve(..., trace=...) was used
+    #: ResilienceReport when faults and/or resilience were active, else None.
+    resilience: object = None
 
     @property
     def iterations(self) -> int:
         return self.stats.total_iterations
+
+    @property
+    def failure(self) -> str | None:
+        """Why the solve fell short of its tolerance (None = converged)."""
+        return self.stats.failure
 
     @property
     def compile_stats(self):
@@ -64,9 +79,10 @@ class SolveResult:
             if self.backend == "sim"
             else f"backend={self.backend!r}"
         )
+        failure = f", failure={self.failure!r}" if self.failure is not None else ""
         return (
             f"SolveResult(n={len(self.x)}, iterations={self.iterations}, "
-            f"relative_residual={self.relative_residual:.3e}, {timing})"
+            f"relative_residual={self.relative_residual:.3e}, {timing}{failure})"
         )
 
 
@@ -81,6 +97,7 @@ def _build_program(
     x0: np.ndarray | None = None,
     device: IPUDevice | None = None,
     blockwise_halo: bool = True,
+    monitor=None,
 ):
     """Construct the full solver schedule; shared by solve/compile_solve."""
     if device is None:
@@ -90,6 +107,10 @@ def _build_program(
         ctx, matrix, num_tiles=num_tiles, grid_dims=grid_dims, blockwise=blockwise_halo
     )
     solver = build_solver(A, config)
+    if monitor is not None:
+        # Attach before solve_into: detection callbacks are appended to the
+        # schedule during symbolic execution.
+        solver.enable_resilience(monitor)
 
     rhs_dtype = getattr(solver, "rhs_dtype", Type.FLOAT32)
     bvec = A.vector(name="b", dtype=rhs_dtype, data=np.asarray(b, dtype=np.float64))
@@ -138,6 +159,8 @@ def solve(
     optimize: bool = True,
     backend: str = "sim",
     trace=None,
+    inject_faults=None,
+    resilience=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver described by ``config`` on a
     simulated IPU device.
@@ -155,7 +178,18 @@ def solve(
     :class:`~repro.telemetry.Tracer` instance records into that tracer.
     Tracing is observational — the traced run is bit-identical in tensors
     and cycles to an untraced one.
+
+    ``inject_faults`` enables deterministic seeded fault injection
+    (``docs/resilience.md``; requires the sim backend): a
+    :class:`~repro.faults.FaultPlan`, dict, JSON path/string, or the
+    compact spec grammar (e.g. ``"seed=7;bitflip:p=0.01,where=exchange"``).
+    ``resilience`` enables detection and recovery: ``True``/``""`` for the
+    default :class:`~repro.solvers.resilience.ResilienceConfig`, or a
+    ``"key=value,..."`` string / dict of overrides.  Either one populates
+    ``SolveResult.resilience`` with a
+    :class:`~repro.solvers.resilience.ResilienceReport`.
     """
+    from repro.faults import FaultInjector, FaultPlan
     from repro.telemetry import Tracer
 
     tracer = None
@@ -167,25 +201,133 @@ def solve(
     elif trace:
         tracer = Tracer()
 
-    ctx, solver, xvec, bvec, device = _build_program(
-        matrix,
-        b,
-        config,
-        num_ipus=num_ipus,
-        tiles_per_ipu=tiles_per_ipu,
-        num_tiles=num_tiles,
-        grid_dims=grid_dims,
-        x0=x0,
-        device=device,
-        blockwise_halo=blockwise_halo,
-    )
-    compiled = ctx.compile(optimize=optimize)
-    engine = Engine(compiled, backend=backend, tracer=tracer)
-    engine.run()
-    if tracer is not None:
-        tracer.convergence(solver.stats)
-        if trace_path is not None:
-            tracer.to_chrome(trace_path)
+    plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
+    rconfig = ResilienceConfig.parse(resilience)
+    b64 = np.asarray(b, dtype=np.float64)
+
+    monitors: list[ResilienceMonitor] = []
+    prior_records: list = []
+    prior_cycles = 0
+    restarts = 0
+    disabled: set[str] = set()
+    cur_tiles = num_tiles
+    cur_device = device
+    aborted: str | None = None
+
+    while True:
+        monitor = ResilienceMonitor(rconfig) if rconfig is not None else None
+        injector = None
+        built_device = None
+        try:
+            ctx, solver, xvec, bvec, built_device = _build_program(
+                matrix,
+                b,
+                config,
+                num_ipus=num_ipus,
+                tiles_per_ipu=tiles_per_ipu,
+                num_tiles=cur_tiles,
+                grid_dims=grid_dims,
+                x0=x0,
+                device=cur_device,
+                blockwise_halo=blockwise_halo,
+                monitor=monitor,
+            )
+            compiled = ctx.compile(optimize=optimize)
+            if plan is not None:
+                injector = FaultInjector(plan, disabled=frozenset(disabled))
+            engine = Engine(compiled, backend=backend, tracer=tracer, injector=injector)
+            if monitor is not None:
+                monitor.baseline()
+            aborted = None
+            while True:
+                try:
+                    engine.run()
+                except RollbackSignal as sig:
+                    cycle = built_device.profiler.total_cycles
+                    if not monitor.budget_left():
+                        aborted = sig.reason
+                        monitor.restore_state()  # leave the best-known iterate in x
+                        break
+                    rec = monitor.rollback(sig, cycle)
+                    if tracer is not None:
+                        tracer.instant(
+                            "rollback",
+                            "fault",
+                            {
+                                "reason": rec.reason,
+                                "iteration": rec.iteration,
+                                "restored_iteration": rec.restored_iteration,
+                                "attempt": len(monitor.rollbacks),
+                            },
+                            ts=cycle,
+                        )
+                    continue
+                if monitor is None or injector is None:
+                    break
+                # Injected faults can corrupt a Krylov recurrence without
+                # tripping any device-side check — the tracked residual
+                # converges while the true residual does not.  Verify on the
+                # host and treat a miss as one more detection event.
+                tolv = getattr(solver, "tol", None)
+                if tolv is None:
+                    break
+                if getattr(solver, "x_ext", None) is not None:
+                    xv = solver.x_ext.read_global()
+                else:
+                    xv = xvec.read_global()
+                bn_ = np.linalg.norm(b64)
+                rel_ = float(np.linalg.norm(matrix.spmv(xv) - b64) / bn_) if bn_ > 0 else 0.0
+                if rel_ <= tolv * 10 or solver.classify_failure(engine) is not None:
+                    break  # good enough — or already failed for a named reason
+                sig = RollbackSignal("silent_corruption", solver.stats.total_iterations)
+                cycle = built_device.profiler.total_cycles
+                if not monitor.budget_left():
+                    aborted = "silent_corruption"
+                    break
+                rec = monitor.rollback(sig, cycle)
+                if tracer is not None:
+                    tracer.instant(
+                        "rollback",
+                        "fault",
+                        {
+                            "reason": rec.reason,
+                            "iteration": rec.iteration,
+                            "restored_iteration": rec.restored_iteration,
+                            "attempt": len(monitor.rollbacks),
+                        },
+                        ts=cycle,
+                    )
+        except SRAMOverflowError:
+            if rconfig is None or not rconfig.degrade_on_oom:
+                raise
+            if monitor is not None:
+                monitors.append(monitor)
+            if injector is not None:
+                prior_records.extend(injector.records)
+            if built_device is not None:
+                prior_cycles += built_device.profiler.total_cycles
+            have = cur_tiles
+            if have is None:
+                n_dev = (
+                    cur_device.num_tiles if cur_device is not None else num_ipus * tiles_per_ipu
+                )
+                have = min(n_dev, matrix.n)
+            want = max(rconfig.min_tiles, have // 2)
+            if want >= have:
+                raise  # cannot shrink further — give up
+            # Graceful degradation: rebuild on fewer tiles (more rows per
+            # tile, larger per-tile shards is fine — the overflow here is
+            # per-shard count / injected, not aggregate capacity) and don't
+            # re-fire injected OOMs against the degraded build.
+            disabled.add("tile_oom")
+            restarts += 1
+            cur_tiles = want
+            cur_device = None  # always rebuild on a fresh device
+            continue
+        else:
+            if monitor is not None:
+                monitors.append(monitor)
+            break
 
     # Prefer the extended-precision solution when the solver kept one.
     if getattr(solver, "x_ext", None) is not None:
@@ -193,17 +335,71 @@ def solve(
     else:
         x = xvec.read_global()
 
-    resid = matrix.spmv(x) - np.asarray(b, dtype=np.float64)
+    resid = matrix.spmv(x) - b64
     bn = np.linalg.norm(b)
     rel = float(np.linalg.norm(resid) / bn) if bn > 0 else float(np.linalg.norm(resid))
 
-    prof = device.profiler
+    failure = aborted if aborted is not None else solver.classify_failure(engine)
+    solver.stats.failure = failure
+
+    report = None
+    if rconfig is not None or plan is not None:
+        records = prior_records + (list(injector.records) if injector is not None else [])
+        rollbacks = [rb for m in monitors for rb in m.rollbacks]
+        iters_observed = sum(m.iterations_observed for m in monitors)
+        if failure is not None:
+            outcome = "failed"
+        elif restarts:
+            outcome = "degraded"
+        elif rollbacks:
+            outcome = "recovered"
+        else:
+            outcome = "clean"
+        report = ResilienceReport(
+            enabled=rconfig is not None,
+            outcome=outcome,
+            failure=failure,
+            faults_injected=len(records),
+            faults_by_kind=dict(Counter(r.kind for r in records)),
+            checkpoints=sum(m.checkpoints for m in monitors),
+            rollbacks=len(rollbacks),
+            rollback_reasons=[rb.reason for rb in rollbacks],
+            restarts=restarts,
+            iterations=solver.stats.total_iterations,
+            extra_iterations=(
+                max(0, iters_observed - solver.stats.total_iterations) if monitors else 0
+            ),
+            final_num_tiles=len(solver.A.tiles),
+        )
+
+    if tracer is not None:
+        tracer.convergence(solver.stats)
+        if report is not None:
+            tracer.resilience(report)
+        if trace_path is not None:
+            tracer.to_chrome(trace_path)
+
+    if rconfig is not None and rconfig.raise_on_failure and failure is not None:
+        if failure == "breakdown":
+            raise SolverBreakdownError(
+                f"{solver.name}: Krylov breakdown (|rho| ~ 0)",
+                solver=solver.name,
+                iteration=solver.stats.total_iterations,
+            )
+        raise DivergenceError(
+            f"{solver.name}: failed to reach tol={getattr(solver, 'tol', None)}",
+            solver=solver.name,
+            reason=failure,
+        )
+
+    prof = built_device.profiler
+    total_cycles = prior_cycles + prof.total_cycles
     return SolveResult(
         x=x,
         stats=solver.stats,
-        cycles=prof.total_cycles,
-        seconds=device.seconds(),
-        energy_j=device.energy_j(),
+        cycles=total_cycles,
+        seconds=built_device.seconds(total_cycles),
+        energy_j=built_device.energy_j(total_cycles),
         relative_residual=rel,
         profile=prof.fractions(),
         engine=engine,
@@ -211,4 +407,5 @@ def solve(
         compiled=compiled,
         backend=engine.backend.name,
         telemetry=tracer,
+        resilience=report,
     )

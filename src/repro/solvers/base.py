@@ -15,11 +15,19 @@ configurations driven by a JSON file (:mod:`repro.solvers.config`).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.sparse.distribute import DistVector, DistributedMatrix
 
 __all__ = ["Solver", "SolveStats"]
+
+
+def _graph_var(obj):
+    """Resolve a DistVector / Tensor / Variable to its graph Variable."""
+    obj = getattr(obj, "owned", obj)
+    return getattr(obj, "var", obj)
 
 
 class SolveStats:
@@ -34,6 +42,10 @@ class SolveStats:
         #: residual-vs-cycles convergence telemetry (zero under backends
         #: without a cycle model).
         self.cycles: list[int] = []
+        #: Why the solve stopped short of its tolerance, or ``None`` when it
+        #: converged: "max_iterations", "breakdown", "nan_residual",
+        #: "stagnation", "divergence", "silent_corruption".
+        self.failure: str | None = None
 
     def record(self, iteration: int, relative_residual: float, cycles: int = 0) -> None:
         self.iterations.append(int(iteration))
@@ -53,9 +65,10 @@ class SolveStats:
         return self.iterations[-1] if self.iterations else 0
 
     def __repr__(self):
+        failure = f", failure={self.failure!r}" if self.failure is not None else ""
         return (
             f"SolveStats(iterations={self.total_iterations}, "
-            f"final_residual={self.final_residual:.3e})"
+            f"final_residual={self.final_residual:.3e}{failure})"
         )
 
 
@@ -70,6 +83,9 @@ class Solver:
         self.params = params
         self.stats = SolveStats()
         self._setup_done = False
+        #: ResilienceMonitor when the resilient solve driver is active
+        #: (:mod:`repro.solvers.resilience`); ``None`` costs nothing.
+        self._monitor = None
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -86,6 +102,55 @@ class Solver:
     def solve_into(self, x: DistVector, b: DistVector) -> None:
         """Append steps computing ``x ≈ A⁻¹ b`` (x's content = initial guess)."""
         raise NotImplementedError
+
+    # -- resilience (docs/resilience.md) ------------------------------------------------
+
+    def enable_resilience(self, monitor) -> None:
+        """Attach a :class:`~repro.solvers.resilience.ResilienceMonitor`.
+
+        Must happen *before* :meth:`solve_into` — the per-iteration
+        detection callback is appended to the schedule during symbolic
+        execution.
+        """
+        self._monitor = monitor
+        monitor.solver = self
+
+    def post_restore(self) -> None:
+        """Hook after a checkpoint restore; solvers whose program prologue
+        would clobber restored state (e.g. MPIR re-widening x into x_ext)
+        override this to reconcile it."""
+
+    def _emit_resilience(self, it, rnorm2, checkpoint_vars: dict) -> None:
+        """Append the per-iteration detection/checkpoint callback (no-op
+        without a monitor).  ``checkpoint_vars`` names the solver state the
+        monitor snapshots (e.g. ``{"x": x, "r": r, "p": p, "rho": rho}``)."""
+        monitor = self._monitor
+        if monitor is None:
+            return
+        for name, obj in checkpoint_vars.items():
+            monitor.register(name, _graph_var(obj))
+
+        def cb(engine, _i=it.var, _r=rnorm2.var):
+            monitor.observe(engine, int(engine.read_scalar(_i)), engine.read_scalar(_r))
+
+        self.ctx.callback(cb)
+
+    def classify_failure(self, engine) -> str | None:
+        """Why this solve fell short of its tolerance (``None`` = it didn't).
+
+        The base classification trusts the device-tracked residual history;
+        Krylov subclasses refine "max_iterations" into "breakdown" when
+        their rho collapsed.
+        """
+        tol = getattr(self, "tol", None)
+        if tol is None or not self.stats.residuals:
+            return None
+        final = self.stats.final_residual
+        if math.isnan(final) or math.isinf(final):
+            return "nan_residual"
+        if final <= tol:
+            return None
+        return "max_iterations"
 
     # -- shared helpers -----------------------------------------------------------------
 

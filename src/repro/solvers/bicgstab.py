@@ -48,9 +48,18 @@ class PBiCGStab(Solver):
         self.max_iterations = max_iterations
         self.fixed_iterations = fixed_iterations
         self.record_history = record_history
+        self._rho_var = None  # read back post-run to classify breakdowns
 
     def _setup(self) -> None:
         self.preconditioner.setup()
+
+    def classify_failure(self, engine):
+        failure = super().classify_failure(engine)
+        if failure == "max_iterations" and self._rho_var is not None:
+            rho = engine.read_scalar(self._rho_var)
+            if rho != rho or abs(rho) <= _BREAKDOWN:
+                return "breakdown"
+        return failure
 
     def solve_into(self, x, b) -> None:
         self.setup()
@@ -71,6 +80,7 @@ class PBiCGStab(Solver):
         # Loop-carried scalars.  (Initial values are (re)assigned as program
         # steps so nested/repeated invocations restart cleanly.)
         rho = ctx.scalar(1.0)
+        self._rho_var = rho.var
         rho_old = ctx.scalar(1.0)
         alpha = ctx.scalar(1.0)
         omega = ctx.scalar(1.0)
@@ -124,6 +134,7 @@ class PBiCGStab(Solver):
             it.assign(it + 1.0)
             # terminate = ... : convergence OR breakdown (|rho| ~ 0).
             cont.assign((rnorm2 > tol2) * (abs(rho) > _BREAKDOWN))
+            self._emit_resilience(it, rnorm2, {"x": x, "r": r, "p": p, "rho": rho})
             if self.record_history:
                 stats = self.stats
 

@@ -36,9 +36,18 @@ class ConjugateGradient(Solver):
         self.max_iterations = max_iterations
         self.fixed_iterations = fixed_iterations
         self.record_history = record_history
+        self._rho_var = None  # read back post-run to classify breakdowns
 
     def _setup(self) -> None:
         self.preconditioner.setup()
+
+    def classify_failure(self, engine):
+        failure = super().classify_failure(engine)
+        if failure == "max_iterations" and self._rho_var is not None:
+            rho = engine.read_scalar(self._rho_var)
+            if rho != rho or abs(rho) <= _BREAKDOWN:
+                return "breakdown"
+        return failure
 
     def solve_into(self, x, b) -> None:
         self.setup()
@@ -52,6 +61,7 @@ class ConjugateGradient(Solver):
         ap = self.workspace("ap")
 
         rho = ctx.scalar(1.0)
+        self._rho_var = rho.var
         rho_old = ctx.scalar(1.0)
         alpha = ctx.scalar(0.0)
         beta = ctx.scalar(0.0)
@@ -94,6 +104,7 @@ class ConjugateGradient(Solver):
             rnorm2.assign(r.t.dot(r.t))
             it.assign(it + 1.0)
             cont.assign((rnorm2 > tol2) * (abs(rho) > _BREAKDOWN))
+            self._emit_resilience(it, rnorm2, {"x": x, "r": r, "p": p, "rho": rho})
             if self.record_history:
                 stats = self.stats
 

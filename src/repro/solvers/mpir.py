@@ -49,6 +49,7 @@ class MPIR(Solver):
         self.verbose = verbose
         #: Extended-precision solution, readable after the run.
         self.x_ext = None
+        self._x_out = None  # the caller's f32 vector (for post_restore)
 
     @property
     def rhs_dtype(self) -> str:
@@ -58,6 +59,28 @@ class MPIR(Solver):
 
     def _setup(self) -> None:
         self.inner.setup()
+
+    def post_restore(self) -> None:
+        """The refinement prologue re-widens the caller's f32 vector into
+        ``x_ext``; after a checkpoint restore, round the restored extended
+        solution back into that vector so the re-run resumes from the
+        checkpoint instead of the original guess (losing only the lo word —
+        extra refinements recover it)."""
+        if self.x_ext is not None and self._x_out is not None:
+            self._x_out.owned.var.scatter(self.x_ext.owned.var.gather())
+
+    def classify_failure(self, engine):
+        failure = super().classify_failure(engine)
+        if failure == "max_iterations":
+            # The cont flag carries a divergence cutoff (rnorm2 >= bnorm2 *
+            # 1e10 exits early); a huge final relative residual means that
+            # guard, not the refinement budget, ended the loop.
+            if self.stats.final_residual >= 1e5:
+                return "divergence"
+            inner_classify = getattr(self.inner, "classify_failure", None)
+            if inner_classify is not None and inner_classify(engine) == "breakdown":
+                return "breakdown"
+        return failure
 
     def solve_into(self, x, b) -> None:
         self.setup()
@@ -71,6 +94,7 @@ class MPIR(Solver):
         r32 = self.workspace("r32")
         c = self.workspace("c")
         self.x_ext = x_ext
+        self._x_out = x
 
         rnorm2 = ctx.scalar(1.0, dtype=prec)
         it = ctx.scalar(0.0)
@@ -118,6 +142,7 @@ class MPIR(Solver):
             # a runaway residual means the working-precision inner solver
             # cannot produce useful corrections).
             cont.assign((rnorm2 > tol2) * (rnorm2 < bnorm2 * 1e10))
+            self._emit_resilience(it, rnorm2, {"x": x, "x_ext": x_ext})
 
             def refine():
                 # Step 2: correction in working precision.

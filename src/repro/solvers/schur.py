@@ -85,7 +85,11 @@ class SchurInterface(Solver):
                 raise SRAMOverflowError(
                     f"Schur interface factor ({lu_nnz} entries for {m} separator "
                     f"cells) exceeds tile SRAM; a multi-step distributed interface "
-                    f"solve (Sec. VI-D) or fewer tiles is required"
+                    f"solve (Sec. VI-D) or fewer tiles is required",
+                    tile_id=self.interface_tile,
+                    requested=lu_nnz * 2 * 4,
+                    free=tile.bytes_free,
+                    capacity=tile.spec.sram_per_tile,
                 ) from exc
             iface["lu"] = lu
             iface["lu_nnz"] = lu_nnz

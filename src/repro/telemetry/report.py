@@ -52,6 +52,9 @@ class TelemetryReport:
     sram: dict = field(default_factory=dict)
     tile_busy: dict = field(default_factory=dict)
     residual: dict = field(default_factory=dict)
+    #: Fault-injection / recovery summary (``fault`` / ``rollback`` /
+    #: ``resilience`` instants from docs/resilience.md); empty = none seen.
+    faults: dict = field(default_factory=dict)
 
     # -- construction ---------------------------------------------------------------
 
@@ -65,6 +68,9 @@ class TelemetryReport:
         exch_inter = 0
         congestion_sum = 0.0
         residual_points: list = []
+        fault_kinds: dict = defaultdict(int)
+        rollback_reasons: dict = defaultdict(int)
+        resilience_summary: dict = {}
         t_min, t_max = None, 0
 
         for ev in events:
@@ -102,6 +108,12 @@ class TelemetryReport:
                     rep.sram = dict(ev.args)
                 elif ev.name == "tile_busy":
                     rep.tile_busy = dict(ev.args)
+                elif ev.name == "fault":
+                    fault_kinds[ev.args.get("kind", "?")] += 1
+                elif ev.name == "rollback":
+                    rollback_reasons[ev.args.get("reason", "?")] += 1
+                elif ev.name == "resilience":
+                    resilience_summary = dict(ev.args)
 
         rep.wall_cycles = (t_max - t_min) if t_min is not None else 0
         wall = max(rep.wall_cycles, 1)
@@ -146,6 +158,18 @@ class TelemetryReport:
                 "first": residual_points[0][1],
                 "last": residual_points[-1][1],
                 "last_cycle": residual_points[-1][0],
+            }
+
+        if fault_kinds or rollback_reasons or resilience_summary:
+            rep.faults = {
+                "injections": sum(fault_kinds.values()),
+                "by_kind": dict(fault_kinds),
+                "rollbacks": sum(rollback_reasons.values()),
+                "rollback_reasons": dict(rollback_reasons),
+                "restarts": resilience_summary.get("restarts", 0),
+                "extra_iterations": resilience_summary.get("extra_iterations", 0),
+                "outcome": resilience_summary.get("outcome"),
+                "failure": resilience_summary.get("failure"),
             }
         return rep
 
@@ -210,6 +234,22 @@ class TelemetryReport:
             lines.append(
                 f"\n  convergence: {r['points']} samples, relative residual "
                 f"{r['first']:.3e} -> {r['last']:.3e} at cycle {r['last_cycle']}"
+            )
+        if self.faults:
+            f = self.faults
+            lines.append("\n  faults & recovery:")
+            kinds = ", ".join(f"{k}={n}" for k, n in sorted(f["by_kind"].items())) or "-"
+            lines.append(f"    injections: {f['injections']} ({kinds})")
+            reasons = ", ".join(
+                f"{k}={n}" for k, n in sorted(f["rollback_reasons"].items())
+            ) or "-"
+            lines.append(f"    rollbacks:  {f['rollbacks']} ({reasons})")
+            if f.get("restarts"):
+                lines.append(f"    restarts:   {f['restarts']} (OOM degradation)")
+            lines.append(
+                f"    extra iterations paid: {f['extra_iterations']}"
+                + (f"   outcome: {f['outcome']}" if f.get("outcome") else "")
+                + (f" ({f['failure']})" if f.get("failure") else "")
             )
         return "\n".join(lines)
 

@@ -159,6 +159,13 @@ class Tracer:
             self.counter("residual", values, ts=cyc)
             self.counter("iteration", {"n": it}, ts=cyc)
 
+    def resilience(self, report) -> None:
+        """Emit the end-of-solve
+        :class:`~repro.solvers.resilience.ResilienceReport` summary (the
+        report's "faults & recovery" section aggregates this together with
+        the per-injection ``fault`` and per-``rollback`` instants)."""
+        self.instant("resilience", "fault", report.to_dict(), ts=self.now())
+
     def finalize(self) -> None:
         """Emit end-of-run per-tile metrics (idempotent)."""
         if self._finalized or self.device is None:

@@ -146,7 +146,22 @@ class TensorContext:
     def _emit_elementwise(self, expr: Expr, out_var) -> None:
         cs = ComputeSet(self.graph.unique_name("cs"), category=category_for(expr.dtype))
         workers = self.device.spec.workers_per_tile
+        # A replicated out_var can span more tiles than the operands (e.g. a
+        # scalar on every device tile assigned from a reduction that lives
+        # only on the matrix's tiles, when the matrix occupies a strict
+        # subset of the device).  Emit only where every leaf has a shard;
+        # off-tile replicas go stale, which is fine — scalar reads and all
+        # distributed expressions resolve on the participating tiles.
+        common = set(out_var.tile_ids)
+        for leaf in expr.leaves():
+            common &= set(leaf.var.tile_ids)
+        if not common:
+            raise ValueError(
+                f"assignment into {out_var.name!r} has no tile holding every operand"
+            )
         for t in out_var.tile_ids:
+            if t not in common:
+                continue
             cl = elementwise_codelet(self.device.model, expr, out_var, t, workers)
             cs.add_vertex(cl, t, {})
         self.append(ExecuteStep(cs))
@@ -330,17 +345,21 @@ class TensorContext:
         """
         return compile_program(self.graph, self.root, passes=passes, optimize=optimize)
 
-    def run(self, optimize: bool = True, passes=None, backend="sim", tracer=None) -> Engine:
+    def run(self, optimize: bool = True, passes=None, backend="sim", tracer=None,
+            injector=None) -> Engine:
         """Compile the generated schedule and execute it on the machine model.
 
         ``backend`` selects the runtime: ``"sim"`` (cycle-accurate, the
         default) or ``"fast"`` (bit-identical numerics, no cycle
         accounting) — see ``docs/runtime.md``.  ``tracer`` attaches a
         :class:`~repro.telemetry.Tracer` to the backend
-        (``docs/observability.md``); requires the sim backend.
+        (``docs/observability.md``); ``injector`` attaches a
+        :class:`~repro.faults.FaultInjector` (``docs/resilience.md``);
+        both require the sim backend.
         """
         engine = Engine(
-            self.compile(optimize=optimize, passes=passes), backend=backend, tracer=tracer
+            self.compile(optimize=optimize, passes=passes), backend=backend,
+            tracer=tracer, injector=injector,
         )
         engine.run()
         return engine

@@ -1,0 +1,77 @@
+"""FaultPlan parsing: compact grammar, JSON, files, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults import BitFlip, FaultPlan, LinkStall, TileOOM
+
+
+class TestCompactGrammar:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=42;bitflip:p=0.01,where=exchange;"
+            "link_stall:ipus=0-1,cycles=500,p=0.1;tile_oom:tile=3,at=120"
+        )
+        assert plan.seed == 42
+        assert len(plan) == 3
+        bf, ls, oom = plan.faults
+        assert bf == BitFlip(p=0.01, where="exchange")
+        assert ls == LinkStall(src_ipu=0, dst_ipu=1, cycles=500, p=0.1)
+        assert oom == TileOOM(tile=3, at_superstep=120)
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("bitflip:p=0.5")
+        assert plan.seed == 0
+        assert plan.faults[0].where == "exchange"
+        assert FaultPlan.parse("link_stall:ipus=1-2,cycles=9").faults[0].p == 1.0
+
+    @pytest.mark.parametrize("bad", [
+        "",                                  # empty
+        "seed=42",                           # no fault clauses
+        "bitflip",                           # missing p
+        "bitflip:p=1.5",                     # p out of range
+        "bitflip:p=0.1,where=dram",          # unknown site
+        "bitflip:p=0.1,oops=1",              # unknown key
+        "link_stall:ipus=0,cycles=5",        # pair must be A-B
+        "link_stall:ipus=0-0,cycles=5",      # pair must be distinct
+        "link_stall:ipus=0-1,cycles=0",      # cycles must be positive
+        "tile_oom:tile=1,at=0",              # superstep is 1-based
+        "tile_oom:tile=-1,at=3",             # tile must be >= 0
+        "gremlin:p=1",                       # unknown kind
+        "seed=banana;bitflip:p=0.1",         # bad seed
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+
+class TestJsonForms:
+    def test_round_trip(self):
+        plan = FaultPlan.parse("seed=7;bitflip:p=0.25,where=sram;tile_oom:tile=2,at=9")
+        again = FaultPlan.parse(plan.to_json())
+        assert again == plan
+        assert again.to_dict() == plan.to_dict()
+
+    def test_dict_and_file(self, tmp_path):
+        data = {"seed": 3, "faults": [{"kind": "bitflip", "p": 0.5}]}
+        assert FaultPlan.parse(data).seed == 3
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data))
+        assert FaultPlan.parse(str(path)) == FaultPlan.parse(data)
+        assert FaultPlan.parse(path) == FaultPlan.parse(data)
+
+    def test_json_rejections(self, tmp_path):
+        with pytest.raises(FaultSpecError, match="unknown fault-plan keys"):
+            FaultPlan.parse({"seed": 1, "faults": [], "extra": True})
+        with pytest.raises(FaultSpecError, match="unknown kind"):
+            FaultPlan.parse({"faults": [{"kind": "gremlin"}]})
+        with pytest.raises(FaultSpecError, match="not valid JSON"):
+            FaultPlan.parse('{"seed": ')
+        with pytest.raises(FaultSpecError, match="no such fault-plan file"):
+            FaultPlan.parse(str(tmp_path / "missing.json"))
+
+    def test_parse_is_idempotent_on_plans(self):
+        plan = FaultPlan.parse("bitflip:p=0.1")
+        assert FaultPlan.parse(plan) is plan

@@ -1,0 +1,69 @@
+"""TelemetryReport "faults & recovery" section."""
+
+import pytest
+
+from repro.solvers import solve
+from repro.sparse import poisson3d
+from repro.telemetry import TelemetryReport, Tracer
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+def _faulty_traced_solve():
+    crs, dims = poisson3d(8)
+    import numpy as np
+
+    b = np.random.default_rng(3).standard_normal(crs.n)
+    tracer = Tracer()
+    result = solve(crs, b, {"solver": "cg", "tol": 1e-6},
+                   num_ipus=2, tiles_per_ipu=16, grid_dims=dims,
+                   trace=tracer,
+                   inject_faults="seed=7;bitflip:p=0.03,where=exchange",
+                   resilience=True)
+    return result, tracer
+
+
+class TestFaultsSection:
+    def test_report_aggregates_fault_events(self):
+        result, tracer = _faulty_traced_solve()
+        report = tracer.report()
+        f = report.faults
+        assert f, "faults section missing from a faulty traced run"
+        assert f["injections"] == result.resilience.faults_injected
+        assert f["by_kind"].get("bitflip", 0) == f["injections"]
+        assert f["rollbacks"] == result.resilience.rollbacks
+        assert f["outcome"] == result.resilience.outcome
+        assert f["extra_iterations"] == result.resilience.extra_iterations
+
+    def test_render_shows_faults_and_recovery(self):
+        _, tracer = _faulty_traced_solve()
+        text = tracer.report().render()
+        assert "faults & recovery:" in text
+        assert "injections:" in text and "bitflip=" in text
+        assert "rollbacks:" in text
+        assert "extra iterations paid:" in text
+        assert "outcome: recovered" in text
+
+    def test_clean_trace_has_no_faults_section(self):
+        import numpy as np
+
+        crs, dims = poisson3d(8)
+        b = np.random.default_rng(3).standard_normal(crs.n)
+        tracer = Tracer()
+        solve(crs, b, {"solver": "cg", "tol": 1e-6}, tiles_per_ipu=8,
+              grid_dims=dims, trace=tracer)
+        report = tracer.report()
+        assert report.faults == {}
+        assert "faults & recovery" not in report.render()
+
+    def test_resilience_instant_round_trips_through_chrome_export(self, tmp_path):
+        from repro.telemetry import load_trace, validate_chrome_trace
+
+        _, tracer = _faulty_traced_solve()
+        path = tmp_path / "t.json"
+        obj = tracer.to_chrome(path)
+        assert validate_chrome_trace(obj) == []
+        events, meta = load_trace(path)
+        report = TelemetryReport.from_events(events, meta=meta)
+        assert report.faults["injections"] > 0
+        assert report.faults["outcome"] == "recovered"

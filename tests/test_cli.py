@@ -103,6 +103,59 @@ class TestTraceCommands:
             ])
 
 
+class TestFaultCommands:
+    SPEC = "seed=7;bitflip:p=0.05,where=exchange"
+
+    def test_faults_subcommand_normalizes_spec(self, capsys):
+        rc = main(["faults", self.SPEC])
+        assert rc == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["seed"] == 7
+        assert plan["faults"] == [
+            {"kind": "bitflip", "p": 0.05, "where": "exchange"}]
+
+    def test_faults_subcommand_writes_plan_file(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        rc = main(["faults", self.SPEC, "--out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["seed"] == 7
+        assert "written to" in capsys.readouterr().out
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_solve_with_faults_and_resilience(self, tmp_path, capsys):
+        report_path = tmp_path / "resilience.json"
+        rc = main([
+            "solve", "--matrix", "poisson3d:8",
+            "--config", '{"solver": "cg", "tol": 1e-6}',
+            "--ipus", "2", "--tiles", "16",
+            "--inject-faults", "seed=7;bitflip:p=0.02,where=exchange",
+            "--resilience", "--resilience-report", str(report_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out and "outcome=" in out
+        report = json.loads(report_path.read_text())
+        assert report["faults_injected"] > 0
+        assert report["outcome"] == "recovered"
+        assert report["rollbacks"] > 0
+
+    def test_resilience_accepts_overrides(self, capsys):
+        rc = main([
+            "solve", "--matrix", "poisson2d:8", "--config", "cg", "--tiles", "4",
+            "--resilience", "checkpoint_every=5,max_rollbacks=1",
+        ])
+        assert rc == 0
+        assert "outcome=clean" in capsys.readouterr().out
+
+    def test_inject_faults_requires_sim_backend(self):
+        with pytest.raises(SystemExit, match="sim"):
+            main([
+                "solve", "--matrix", "poisson2d:8", "--config", "cg",
+                "--tiles", "4", "--backend", "fast",
+                "--inject-faults", "bitflip:p=0.1",
+            ])
+
+
 class TestCompileReportCommand:
     def test_compile_report(self, capsys):
         rc = main([

@@ -1,0 +1,78 @@
+"""The framework error hierarchy (repro.errors) and its CLI exit codes."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    DivergenceError,
+    FaultSpecError,
+    ReproError,
+    SolverBreakdownError,
+    SRAMOverflowError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SRAMOverflowError, SolverBreakdownError, DivergenceError,
+                    FaultSpecError):
+            assert issubclass(exc, ReproError)
+
+    def test_dual_inheritance_keeps_old_except_clauses_working(self):
+        # SRAMOverflowError was a MemoryError before the hierarchy existed;
+        # breakdown/divergence are arithmetic failures; bad specs are
+        # ValueErrors.  Old call sites catch the stdlib bases.
+        assert issubclass(SRAMOverflowError, MemoryError)
+        assert issubclass(SolverBreakdownError, ArithmeticError)
+        assert issubclass(DivergenceError, ArithmeticError)
+        assert issubclass(FaultSpecError, ValueError)
+
+    def test_exit_codes_distinct_and_nonzero(self):
+        codes = [exc.exit_code for exc in (
+            ReproError, SRAMOverflowError, SolverBreakdownError,
+            DivergenceError, FaultSpecError,
+        )]
+        assert len(set(codes)) == len(codes)
+        assert all(c != 0 for c in codes)
+
+
+class TestSRAMOverflowMessage:
+    def test_structured_message(self):
+        err = SRAMOverflowError(
+            "allocating shard 'x@3' exceeds SRAM capacity",
+            tile_id=3, requested=700_000, free=10_000, capacity=624_000,
+        )
+        msg = str(err)
+        assert "tile 3" in msg
+        assert "700000 B" in msg and "10000 B free" in msg
+        assert "sram_report" in msg  # points at the diagnosis tool
+        assert err.tile_id == 3 and err.requested == 700_000
+
+    def test_real_overflow_carries_tile_detail(self):
+        from repro.machine import IPUDevice
+
+        device = IPUDevice(num_ipus=1, tiles_per_ipu=4)
+        tile = device.tile(2)
+        huge = np.zeros(tile.spec.sram_per_tile, dtype=np.float32)
+        with pytest.raises(SRAMOverflowError) as exc_info:
+            tile.alloc("huge", huge)
+        err = exc_info.value
+        assert err.tile_id == 2
+        assert err.requested == huge.nbytes
+        assert "tile 2" in str(err)
+
+
+class TestCliExitCodes:
+    def test_bad_fault_spec_maps_to_fault_spec_exit_code(self, capsys):
+        rc = main(["faults", "seed=7;warp_core_breach:p=1"])
+        assert rc == FaultSpecError.exit_code
+        assert "error:" in capsys.readouterr().err
+
+    def test_injected_oom_without_resilience_maps_to_sram_exit_code(self, capsys):
+        rc = main([
+            "solve", "--matrix", "poisson2d:8", "--config", "cg", "--tiles", "4",
+            "--inject-faults", "seed=1;tile_oom:tile=0,at=5",
+        ])
+        assert rc == SRAMOverflowError.exit_code
+        assert "tile 0" in capsys.readouterr().err
