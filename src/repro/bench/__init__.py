@@ -2,6 +2,7 @@
 
 from repro.bench.harness import (
     backend_wallclock,
+    cached_solve_wallclock,
     ipu_spmv_run,
     print_series,
     print_table,
@@ -18,4 +19,5 @@ __all__ = [
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",
+    "cached_solve_wallclock",
 ]

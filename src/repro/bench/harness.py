@@ -30,6 +30,7 @@ __all__ = [
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",
+    "cached_solve_wallclock",
 ]
 
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
@@ -204,4 +205,60 @@ def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
         "speedup": seconds["sim"] / max(seconds["fast"], 1e-12),
         "bit_identical": bool(np.array_equal(outputs["sim"], outputs["fast"])),
         "sim_cycles": sim_cycles,
+    }
+
+
+def cached_solve_wallclock(crs, config, bs, grid_dims=None, num_ipus: int = 1,
+                           tiles_per_ipu: int = 16, backend: str = "sim",
+                           **solve_kwargs) -> dict:
+    """Host wall-clock of one solve per rhs in ``bs``, cached vs. uncached.
+
+    Runs the whole batch twice: once through a shared
+    :class:`~repro.solvers.session.SolverSession` (first solve compiles,
+    the rest hit the structure-keyed cache) and once cold (every solve
+    rebuilds and re-lowers).  Returns per-run timings, the amortized
+    speedup, the session's cache counters, and bit-identity checks of
+    solutions and modeled cycles between the two paths.  Wall-clock
+    numbers are host measurements — keep them out of the deterministic
+    cycle-count artifacts (see :func:`save_result`).
+    """
+    from repro.solvers import SolverSession, solve
+
+    session = SolverSession(crs, config, num_ipus=num_ipus,
+                            tiles_per_ipu=tiles_per_ipu, grid_dims=grid_dims,
+                            backend=backend, **solve_kwargs)
+    cached_times, cached_results = [], []
+    for b in bs:
+        t0 = time.perf_counter()
+        cached_results.append(session.solve(b))
+        cached_times.append(time.perf_counter() - t0)
+
+    cold_times, cold_results = [], []
+    for b in bs:
+        t0 = time.perf_counter()
+        cold_results.append(
+            solve(crs, b, config, num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu,
+                  grid_dims=grid_dims, backend=backend, **solve_kwargs)
+        )
+        cold_times.append(time.perf_counter() - t0)
+
+    return {
+        "solves": len(bs),
+        "cached_seconds": cached_times,
+        "cold_seconds": cold_times,
+        "cached_total": sum(cached_times),
+        "cold_total": sum(cold_times),
+        "amortized_speedup": sum(cold_times) / max(sum(cached_times), 1e-12),
+        "hit_mean_seconds": (
+            sum(cached_times[1:]) / max(len(cached_times) - 1, 1)
+        ),
+        "cold_mean_seconds": sum(cold_times) / max(len(cold_times), 1),
+        "cache": session.stats(),
+        "bit_identical_solutions": bool(all(
+            np.array_equal(a.x, c.x) for a, c in zip(cached_results, cold_results)
+        )),
+        "identical_cycles": bool(all(
+            a.cycles == c.cycles for a, c in zip(cached_results, cold_results)
+        )),
+        "cycles": [r.cycles for r in cached_results],
     }

@@ -25,6 +25,10 @@ Examples::
     # Normalize / validate a fault spec without running anything
     python -m repro.cli faults 'seed=7;bitflip:p=0.005;tile_oom:tile=3,at=40'
 
+    # Amortize the compile over repeated solves (docs/performance.md)
+    python -m repro.cli solve --matrix poisson:32 --config cg --repeat 5
+    python -m repro.cli batch --matrix poisson:32 --config cg --count 8
+
     # Show the device spec sheet
     python -m repro.cli info
 
@@ -80,7 +84,9 @@ def _load_matrix(spec: str):
 
 
 def _cmd_solve(args) -> int:
-    from repro.solvers import solve
+    import time
+
+    from repro.solvers import ProgramCache, solve
 
     matrix, dims = _load_matrix(args.matrix)
     if args.rhs:
@@ -92,18 +98,27 @@ def _cmd_solve(args) -> int:
         raise SystemExit("--trace requires the cycle-accurate sim backend")
     if args.inject_faults and args.backend != "sim":
         raise SystemExit("--inject-faults requires the cycle-accurate sim backend")
-    result = solve(
-        matrix,
-        b,
-        args.config,
-        num_ipus=args.ipus,
-        tiles_per_ipu=args.tiles,
-        grid_dims=dims,
-        backend=args.backend,
-        trace=args.trace,
-        inject_faults=args.inject_faults,
-        resilience=args.resilience,
-    )
+    repeat = max(1, args.repeat)
+    pcache = ProgramCache() if repeat > 1 else None
+    times, result, first = [], None, None
+    for i in range(repeat):
+        t0 = time.perf_counter()
+        result = solve(
+            matrix,
+            b,
+            args.config,
+            num_ipus=args.ipus,
+            tiles_per_ipu=args.tiles,
+            grid_dims=dims,
+            backend=args.backend,
+            trace=args.trace,
+            inject_faults=args.inject_faults,
+            resilience=args.resilience,
+            cache=pcache,
+        )
+        times.append(time.perf_counter() - t0)
+        if i == 0:
+            first = result
     print(f"matrix:            n={matrix.n} nnz={matrix.nnz}")
     print(f"iterations:        {result.iterations}")
     print(f"relative residual: {result.relative_residual:.3e}")
@@ -115,6 +130,19 @@ def _cmd_solve(args) -> int:
         print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
     else:
         print(f"backend:           {result.backend} (numerics only, no cycle model)")
+    if repeat > 1:
+        identical = bool(
+            np.array_equal(result.x, first.x) and result.cycles == first.cycles
+        )
+        rest = times[1:]
+        stats = pcache.stats()
+        print(f"repeat:            {repeat} solves; first (compile) "
+              f"{times[0] * 1e3:.1f} ms, cached mean {sum(rest) / len(rest) * 1e3:.1f} ms")
+        print(f"compile cache:     hits={stats['hits']} misses={stats['misses']} "
+              f"evictions={stats['evictions']}; bit-identical runs: "
+              f"{'yes' if identical else 'NO'}")
+        if not identical:
+            raise SystemExit("cache hit produced a different solution or cycle count")
     if args.profile:
         print("cycle breakdown:")
         for cat, frac in sorted(result.profile.items(), key=lambda kv: -kv[1]):
@@ -140,6 +168,61 @@ def _cmd_solve(args) -> int:
     if args.output:
         np.save(args.output, result.x)
         print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    """Solve one system per right-hand side through a shared SolverSession."""
+    import time
+
+    from repro.solvers import SolverSession
+
+    matrix, dims = _load_matrix(args.matrix)
+    if args.rhs:
+        bs = np.load(args.rhs)
+        if bs.ndim == 1:
+            bs = bs[None, :]
+        if bs.ndim != 2 or bs.shape[1] != matrix.n:
+            raise SystemExit(
+                f"--rhs must be an (m, {matrix.n}) array, got shape {bs.shape}"
+            )
+        bs = list(bs)
+    else:
+        rng = np.random.default_rng(args.seed)
+        bs = [rng.standard_normal(matrix.n) for _ in range(args.count)]
+
+    session = SolverSession(
+        matrix,
+        args.config,
+        num_ipus=args.ipus,
+        tiles_per_ipu=args.tiles,
+        grid_dims=dims,
+        backend=args.backend,
+    )
+    print(f"matrix:  n={matrix.n} nnz={matrix.nnz}; {len(bs)} right-hand sides")
+    results, times = [], []
+    for i, b in enumerate(bs):
+        t0 = time.perf_counter()
+        result = session.solve(b)
+        times.append(time.perf_counter() - t0)
+        results.append(result)
+        line = (f"  rhs {i:>3}: iterations={result.iterations:<5} "
+                f"residual={result.relative_residual:.3e} "
+                f"host={times[-1] * 1e3:7.1f} ms")
+        if result.backend == "sim":
+            line += f" cycles={result.cycles}"
+        print(line)
+    stats = session.stats()
+    print(f"cache:   hits={stats['hits']} misses={stats['misses']} "
+          f"evictions={stats['evictions']}")
+    if len(times) > 1:
+        rest = times[1:]
+        print(f"timing:  first (compile) {times[0] * 1e3:.1f} ms, "
+              f"cached mean {sum(rest) / len(rest) * 1e3:.1f} ms "
+              f"({times[0] * len(rest) / max(sum(rest), 1e-12):.1f}x amortized)")
+    if args.output:
+        np.save(args.output, np.stack([r.x for r in results]))
+        print(f"solutions written to {args.output} (one row per rhs)")
     return 0
 
 
@@ -259,7 +342,33 @@ def main(argv=None) -> int:
                               "'checkpoint_every=5,max_rollbacks=4' (docs/resilience.md)")
     p_solve.add_argument("--resilience-report", metavar="PATH",
                          help="write the resilience report as JSON to PATH")
+    p_solve.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="solve the same system N times through the "
+                              "structure-keyed compile cache and report the "
+                              "amortized host wall-clock (docs/performance.md)")
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="solve one system per right-hand side through a shared "
+             "compile-cache session (docs/performance.md)")
+    p_batch.add_argument("--matrix", required=True,
+                         help="poisson[2d|3d]:N | g3|afshell|geo|hook[:size] | file.mtx")
+    p_batch.add_argument("--config", required=True,
+                         help="solver config: JSON string, path to a .json file, or a "
+                              "bare solver name like 'cg'")
+    p_batch.add_argument("--rhs",
+                         help="right-hand sides as an (m, n) .npy file, one per row "
+                              "(default: --count random vectors)")
+    p_batch.add_argument("--count", type=int, default=4,
+                         help="number of random right-hand sides when --rhs is absent")
+    p_batch.add_argument("--ipus", type=int, default=1)
+    p_batch.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--backend", choices=["sim", "fast"], default="sim")
+    p_batch.add_argument("--output",
+                         help="write the stacked solutions to a .npy file, one row per rhs")
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_faults = sub.add_parser(
         "faults", help="parse a fault-injection spec and print its canonical JSON")

@@ -35,7 +35,26 @@ __all__ = [
     "compile_program",
     "default_passes",
     "rewrite_bottom_up",
+    "pass_invocations",
+    "compile_invocations",
 ]
+
+#: Process-wide counters: how many individual pass applications and full
+#: ``compile_program`` lowerings have run.  The compile cache's tests (and
+#: its acceptance criterion) assert these do NOT move on a cache hit — a hit
+#: must reuse the lowered artifact, not re-lower it.
+_PASS_INVOCATIONS = 0
+_COMPILE_INVOCATIONS = 0
+
+
+def pass_invocations() -> int:
+    """Total individual ``Pass.run`` applications in this process."""
+    return _PASS_INVOCATIONS
+
+
+def compile_invocations() -> int:
+    """Total ``compile_program`` lowerings in this process."""
+    return _COMPILE_INVOCATIONS
 
 
 def rewrite_bottom_up(step: Step, fn, memo: dict | None = None) -> Step:
@@ -170,10 +189,12 @@ class PassManager:
         self.passes = list(passes) if passes is not None else default_passes()
 
     def run(self, root: Step) -> tuple[Step, PassReport]:
+        global _PASS_INVOCATIONS
         report = PassReport()
         for p in self.passes:
             before = collect_stats(root)
             root = p.run(root)
+            _PASS_INVOCATIONS += 1
             report.results.append(PassResult(p.name, before, collect_stats(root)))
         return root, report
 
@@ -247,6 +268,8 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
     """
     from repro.graph.passes.plans import build_plans
 
+    global _COMPILE_INVOCATIONS
+    _COMPILE_INVOCATIONS += 1
     source_stats = collect_stats(root)
     manager = PassManager([] if not optimize else passes)
     optimized, report = manager.run(root)

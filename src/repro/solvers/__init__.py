@@ -21,6 +21,15 @@ from repro.solvers.multigrid import Multigrid
 from repro.solvers.resilience import ResilienceConfig, ResilienceMonitor, ResilienceReport
 from repro.solvers.richardson import Richardson
 from repro.solvers.schur import SchurInterface
+from repro.solvers.session import (
+    CompiledSolve,
+    ProgramCache,
+    SolverSession,
+    default_cache,
+    fingerprint_matrix,
+    fingerprint_solve,
+    solve_many,
+)
 
 __all__ = [
     "solve",
@@ -42,6 +51,13 @@ __all__ = [
     "ResilienceConfig",
     "ResilienceMonitor",
     "ResilienceReport",
+    "CompiledSolve",
+    "ProgramCache",
+    "SolverSession",
+    "default_cache",
+    "fingerprint_matrix",
+    "fingerprint_solve",
+    "solve_many",
     "SOLVERS",
     "build_solver",
     "load_config",

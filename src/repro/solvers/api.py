@@ -11,6 +11,7 @@ pass pipeline (:mod:`repro.graph.passes`) into a
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,6 +29,7 @@ from repro.solvers.resilience import (
     ResilienceReport,
     RollbackSignal,
 )
+from repro.solvers.session import CompiledSolve, fingerprint_solve, resolve_cache
 from repro.sparse.crs import ModifiedCRS
 from repro.sparse.distribute import DistributedMatrix
 from repro.tensordsl import TensorContext, Type
@@ -161,6 +163,7 @@ def solve(
     trace=None,
     inject_faults=None,
     resilience=None,
+    cache=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver described by ``config`` on a
     simulated IPU device.
@@ -188,6 +191,17 @@ def solve(
     ``"key=value,..."`` string / dict of overrides.  Either one populates
     ``SolveResult.resilience`` with a
     :class:`~repro.solvers.resilience.ResilienceReport`.
+
+    ``cache`` enables the structure-keyed compile cache
+    (``docs/performance.md``): ``True`` uses the process-wide
+    :class:`~repro.solvers.session.ProgramCache`, or pass your own
+    instance.  A hit rebinds ``b``/``x0`` into the cached
+    :class:`~repro.graph.CompiledProgram` and re-executes it — no passes
+    re-run, and solution *and* cycles are bit-identical to a cold
+    compile.  An explicit ``device`` disables caching (the cached shards
+    live on a cache-owned device).  Repeated-solve callers should prefer
+    :class:`~repro.solvers.session.SolverSession` /
+    :func:`~repro.solvers.session.solve_many`.
     """
     from repro.faults import FaultInjector, FaultPlan
     from repro.telemetry import Tracer
@@ -204,35 +218,82 @@ def solve(
     plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
     rconfig = ResilienceConfig.parse(resilience)
     b64 = np.asarray(b, dtype=np.float64)
+    pcache = resolve_cache(cache)
+    if device is not None:
+        # A caller-owned device would end up holding cache-owned shards;
+        # every entry builds on a fresh device instead.
+        pcache = None
 
     monitors: list[ResilienceMonitor] = []
     prior_records: list = []
     prior_cycles = 0
     restarts = 0
+    carried_iterations = 0
     disabled: set[str] = set()
     cur_tiles = num_tiles
     cur_device = device
     aborted: str | None = None
 
     while True:
-        monitor = ResilienceMonitor(rconfig) if rconfig is not None else None
+        monitor = None
         injector = None
         built_device = None
+        entry = None
         try:
-            ctx, solver, xvec, bvec, built_device = _build_program(
-                matrix,
-                b,
-                config,
-                num_ipus=num_ipus,
-                tiles_per_ipu=tiles_per_ipu,
-                num_tiles=cur_tiles,
-                grid_dims=grid_dims,
-                x0=x0,
-                device=cur_device,
-                blockwise_halo=blockwise_halo,
-                monitor=monitor,
-            )
-            compiled = ctx.compile(optimize=optimize)
+            if pcache is not None:
+                key = fingerprint_solve(
+                    matrix,
+                    config,
+                    num_ipus=num_ipus,
+                    tiles_per_ipu=tiles_per_ipu,
+                    num_tiles=cur_tiles,
+                    grid_dims=grid_dims,
+                    blockwise_halo=blockwise_halo,
+                    optimize=optimize,
+                    backend=backend,
+                    resilient=rconfig is not None,
+                )
+                entry = pcache.get(key)
+            if entry is not None:
+                # Cache hit: rebind host values into the cached artifact and
+                # re-execute — no symbolic execution, no compiler passes.
+                entry.prepare(b64, x0=x0, rconfig=rconfig)
+                ctx, solver, xvec, bvec = entry.ctx, entry.solver, entry.xvec, entry.bvec
+                built_device, compiled, monitor = entry.device, entry.compiled, entry.monitor
+            else:
+                monitor = ResilienceMonitor(rconfig) if rconfig is not None else None
+                t_build = time.perf_counter()
+                ctx, solver, xvec, bvec, built_device = _build_program(
+                    matrix,
+                    b,
+                    config,
+                    num_ipus=num_ipus,
+                    tiles_per_ipu=tiles_per_ipu,
+                    num_tiles=cur_tiles,
+                    grid_dims=grid_dims,
+                    # Under caching x0 is bound via prepare() below, so the
+                    # snapshotted initial image stays x0-free (x = 0).
+                    x0=None if pcache is not None else x0,
+                    device=cur_device,
+                    blockwise_halo=blockwise_halo,
+                    monitor=monitor,
+                )
+                compiled = ctx.compile(optimize=optimize)
+                if pcache is not None:
+                    entry = CompiledSolve.capture(
+                        key, ctx, solver, xvec, bvec, built_device, compiled,
+                        monitor=monitor,
+                        build_seconds=time.perf_counter() - t_build,
+                    )
+                    pcache.put(key, entry)
+                    entry.prepare(b64, x0=x0, rconfig=rconfig)
+            if tracer is not None and pcache is not None:
+                tracer.instant(
+                    "compile_cache",
+                    "compile",
+                    {"event": "hit" if entry.runs > 1 else "miss", **pcache.stats()},
+                    ts=0,
+                )
             if plan is not None:
                 injector = FaultInjector(plan, disabled=frozenset(disabled))
             engine = Engine(compiled, backend=backend, tracer=tracer, injector=injector)
@@ -302,10 +363,20 @@ def solve(
                 raise
             if monitor is not None:
                 monitors.append(monitor)
+                # Warm-start the rebuilt program from the best checkpointed
+                # iterate instead of discarding all converged progress.
+                warm_x, warm_it = monitor.best_solution()
+                if warm_x is not None and warm_it > 0:
+                    x0 = warm_x
+                    carried_iterations += warm_it
             if injector is not None:
                 prior_records.extend(injector.records)
             if built_device is not None:
                 prior_cycles += built_device.profiler.total_cycles
+                if tracer is not None:
+                    # The rebuilt program runs on a fresh device whose clock
+                    # restarts at zero; keep the trace timeline monotone.
+                    tracer.shift_clock(built_device.profiler.total_cycles)
             have = cur_tiles
             if have is None:
                 n_dev = (
@@ -335,8 +406,11 @@ def solve(
     else:
         x = xvec.read_global()
 
+    # Both the residual and its normalization in f64: ``np.linalg.norm(b)``
+    # in the caller's dtype (e.g. float32) accumulates in that precision and
+    # skews the reported relative residual near tight tolerances.
     resid = matrix.spmv(x) - b64
-    bn = np.linalg.norm(b)
+    bn = np.linalg.norm(b64)
     rel = float(np.linalg.norm(resid) / bn) if bn > 0 else float(np.linalg.norm(resid))
 
     failure = aborted if aborted is not None else solver.classify_failure(engine)
@@ -369,6 +443,7 @@ def solve(
             extra_iterations=(
                 max(0, iters_observed - solver.stats.total_iterations) if monitors else 0
             ),
+            carried_iterations=carried_iterations,
             final_num_tiles=len(solver.A.tiles),
         )
 
@@ -396,7 +471,8 @@ def solve(
     total_cycles = prior_cycles + prof.total_cycles
     return SolveResult(
         x=x,
-        stats=solver.stats,
+        # Detach the stats under caching: the next hit resets them in place.
+        stats=solver.stats.copy() if pcache is not None else solver.stats,
         cycles=total_cycles,
         seconds=built_device.seconds(total_cycles),
         energy_j=built_device.energy_j(total_cycles),

@@ -52,6 +52,28 @@ class SolveStats:
         self.residuals.append(float(relative_residual))
         self.cycles.append(int(cycles))
 
+    def reset(self) -> None:
+        """Clear the record *in place* for a fresh run of the same program.
+
+        Runtime callbacks close over this object, so a reusable solve
+        session (:mod:`repro.solvers.session`) must empty it rather than
+        replace it.
+        """
+        self.residuals.clear()
+        self.iterations.clear()
+        self.cycles.clear()
+        self.failure = None
+
+    def copy(self) -> "SolveStats":
+        """Detached snapshot — what a cached-session solve hands back to the
+        caller so the next run's :meth:`reset` cannot mutate their result."""
+        out = SolveStats()
+        out.residuals = list(self.residuals)
+        out.iterations = list(self.iterations)
+        out.cycles = list(self.cycles)
+        out.failure = self.failure
+        return out
+
     def residual_series(self) -> list:
         """``(cycles, iteration, relative_residual)`` triples, in order."""
         return list(zip(self.cycles, self.iterations, self.residuals))
@@ -102,6 +124,19 @@ class Solver:
     def solve_into(self, x: DistVector, b: DistVector) -> None:
         """Append steps computing ``x ≈ A⁻¹ b`` (x's content = initial guess)."""
         raise NotImplementedError
+
+    def iter_tree(self):
+        """Yield this solver and every nested sub-solver (preconditioners,
+        MPIR inner solvers, multigrid smoothers...), depth-first.  The solve
+        session resets the whole tree's :class:`SolveStats` between runs."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Solver):
+                yield from value.iter_tree()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Solver):
+                        yield from item.iter_tree()
 
     # -- resilience (docs/resilience.md) ------------------------------------------------
 

@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, fields
 
+import numpy as np
+
 from repro.errors import ReproError
 
 __all__ = [
@@ -181,6 +183,24 @@ class ResilienceMonitor:
     def register(self, name: str, var) -> None:
         self.vars.setdefault(name, var)
 
+    def reset(self, config: ResilienceConfig | None = None) -> None:
+        """Clear all per-run state for a fresh run of the same program.
+
+        The variable registry and the solver link survive — they were wired
+        in at symbolic-execution time and stay valid for the lifetime of the
+        compiled program.  A reusable solve session calls this (optionally
+        swapping the policy ``config``) before every cached re-run.
+        """
+        if config is not None:
+            self.config = config
+        self._checkpoint = None
+        self.checkpoint_iteration = 0
+        self.checkpoints = 0
+        self.rollbacks.clear()
+        self.iterations_observed = 0
+        self._best = math.inf
+        self._since_best = 0
+
     @property
     def patience(self) -> int:
         """Stagnation window under the exponential backoff: widens by
@@ -219,6 +239,36 @@ class ResilienceMonitor:
                     sh.lo[...] = lo
         if self.solver is not None:
             self.solver.post_restore()
+
+    def best_solution(self):
+        """``(x_in_original_row_order, iteration)`` of the latest checkpoint.
+
+        Assembled straight from the snapshot arrays — the live shards are
+        not touched, so this is safe to call after a partially corrupted or
+        aborted run.  Returns ``(None, 0)`` when no checkpoint (or no
+        solution variable) was registered.  The OOM degradation path uses
+        this to warm-start the rebuilt program from the best-known iterate
+        instead of discarding all converged progress.
+        """
+        name = "x" if "x" in self.vars else ("x_ext" if "x_ext" in self.vars else None)
+        if name is None or self._checkpoint is None:
+            return None, 0
+        snap = self._checkpoint.get(name)
+        var = self.vars[name]
+        if snap is None or self.solver is None:
+            return None, 0
+        flat = np.zeros(var.size, dtype=np.float64)
+        for tile_id, (data, lo) in snap.items():
+            iv = var.shards[tile_id].interval
+            chunk = data.astype(np.float64)
+            if lo is not None:
+                chunk = chunk + lo.astype(np.float64)
+            flat[iv.start : iv.stop] = chunk
+        # Undo the Sec. IV halo reordering back to the original row order.
+        perm = self.solver.A.perm
+        out = np.empty_like(flat)
+        out[perm] = flat
+        return out, self.checkpoint_iteration
 
     # -- the per-iteration hook ------------------------------------------------------
 
@@ -279,6 +329,9 @@ class ResilienceReport:
     iterations: int = 0
     #: Iterations paid beyond the final attempt (rolled-back work).
     extra_iterations: int = 0
+    #: Checkpointed iterations carried into a degraded rebuild as its warm
+    #: start (0 when every restart began from the original initial guess).
+    carried_iterations: int = 0
     final_num_tiles: int | None = None
 
     def to_dict(self) -> dict:
@@ -294,6 +347,7 @@ class ResilienceReport:
             "restarts": self.restarts,
             "iterations": self.iterations,
             "extra_iterations": self.extra_iterations,
+            "carried_iterations": self.carried_iterations,
             "final_num_tiles": self.final_num_tiles,
         }
 
@@ -305,5 +359,7 @@ class ResilienceReport:
         parts.append(f"rollbacks={self.rollbacks}")
         if self.restarts:
             parts.append(f"restarts={self.restarts}")
+            if self.carried_iterations:
+                parts.append(f"carried_iterations={self.carried_iterations}")
         parts.append(f"extra_iterations={self.extra_iterations}")
         return " ".join(parts)

@@ -1,0 +1,324 @@
+"""Structure-keyed compile cache and reusable solve sessions.
+
+Time-stepping codes (the paper's OpenFOAM motivation) solve the *same*
+sparse system shape hundreds of times with a new right-hand side each
+step.  On a real IPU the Poplar graph compile dominates the first solve
+and is amortized by keeping the ``poplar::Engine`` alive; this module is
+the analogue for the simulated pipeline:
+
+- :func:`fingerprint_solve` — a structural fingerprint of everything the
+  lowered program depends on: the matrix (sparsity pattern *and* values —
+  the values are baked into tile-local blocks at distribution time), the
+  canonicalized solver config, the device shape, the partition, the halo
+  strategy, the optimization setting, and the runtime backend,
+- :class:`ProgramCache` — an LRU map from fingerprint to a ready-to-run
+  :class:`CompiledSolve`, with hit/miss/eviction counters that surface in
+  telemetry and the CLI,
+- :class:`CompiledSolve` — one built-and-lowered solver program plus a
+  snapshot of every graph variable's initial shard contents; ``prepare``
+  restores that snapshot and rebinds a new ``b`` / ``x0``, so a cache hit
+  re-executes the identical :class:`~repro.graph.CompiledProgram` without
+  re-running a single compiler pass — bit-identical in tensors *and* in
+  modeled cycles to a cold compile,
+- :class:`SolverSession` / :func:`solve_many` — the user-facing wrappers:
+  a session pins (matrix, config, device shape) and exposes ``solve(b)``;
+  ``solve_many`` batches a list of right-hand sides through one session.
+
+Rebinding is sound because every solver recomputes its derived state
+in-program from the bound vectors (``r = b − Ax``, ``‖b‖²`` via an
+on-device reduction grabbed by a per-run host callback) — nothing about a
+specific ``b`` is frozen into the artifact at build time.  The cache key
+deliberately excludes ``b`` and ``x0`` for the same reason.
+
+See ``docs/performance.md`` for the amortization numbers and
+``benchmarks/bench_compile_cache.py`` for the measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.solvers.config import load_config
+
+__all__ = [
+    "CompiledSolve",
+    "ProgramCache",
+    "SolverSession",
+    "default_cache",
+    "fingerprint_matrix",
+    "fingerprint_solve",
+    "resolve_cache",
+    "solve_many",
+]
+
+
+def fingerprint_matrix(matrix) -> str:
+    """Content hash of a :class:`~repro.sparse.crs.ModifiedCRS` matrix.
+
+    Covers the sparsity *structure* (row_ptr/col_idx drive the partition,
+    the halo layout, and the exchange plans) and the *values* (diag and
+    off-diagonals are baked into each tile's local block at
+    :class:`~repro.sparse.distribute.DistributedMatrix` build time, so a
+    value change must miss the cache even when the pattern is unchanged).
+    """
+    h = hashlib.sha256()
+    h.update(f"n={matrix.n}".encode())
+    for name in ("row_ptr", "col_idx", "diag", "values"):
+        arr = np.ascontiguousarray(getattr(matrix, name))
+        h.update(name.encode())
+        h.update(arr.dtype.str.encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def fingerprint_solve(
+    matrix,
+    config,
+    *,
+    num_ipus: int = 1,
+    tiles_per_ipu: int = 16,
+    num_tiles: int | None = None,
+    grid_dims=None,
+    blockwise_halo: bool = True,
+    optimize: bool = True,
+    backend: str = "sim",
+    resilient: bool = False,
+) -> str:
+    """The cache key: everything the lowered program artifact depends on.
+
+    ``b`` and ``x0`` are deliberately absent — they are host-rebindable
+    (see the module docstring).  ``resilient`` keys on whether a
+    :class:`~repro.solvers.resilience.ResilienceMonitor` was woven into
+    the schedule (its detection callbacks are program steps).
+    """
+    parts = {
+        "matrix": fingerprint_matrix(matrix),
+        "config": json.dumps(load_config(config), sort_keys=True, default=str),
+        "num_ipus": int(num_ipus),
+        "tiles_per_ipu": int(tiles_per_ipu),
+        "num_tiles": None if num_tiles is None else int(num_tiles),
+        "grid_dims": None if grid_dims is None else [int(d) for d in grid_dims],
+        "blockwise_halo": bool(blockwise_halo),
+        "optimize": bool(optimize),
+        "backend": str(backend),
+        "resilient": bool(resilient),
+    }
+    return hashlib.sha256(json.dumps(parts, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass
+class CompiledSolve:
+    """One built solver program, ready to re-run against new host values.
+
+    Holds the live object graph of a single ``_build_program`` +
+    ``ctx.compile`` invocation — context, solver tree, bound x/b vectors,
+    device, monitor — plus ``initial_state``: a deep copy of every graph
+    variable's shard arrays taken *before* the first execution.
+    :meth:`prepare` rolls the device back to that image, which is what
+    makes a re-run bit-identical to the first run (the program itself is
+    never mutated by execution; only the shard arrays are).
+    """
+
+    key: str
+    ctx: object  # TensorContext
+    solver: object  # the root Solver
+    xvec: object  # DistVector bound to x
+    bvec: object  # DistVector bound to b
+    device: object  # IPUDevice the graph's shards live on
+    compiled: object  # the frozen CompiledProgram artifact
+    monitor: object = None  # ResilienceMonitor woven into the schedule, or None
+    build_seconds: float = 0.0  # host wall-clock of build + lowering
+    runs: int = 0  # executions served from this entry
+    initial_state: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def capture(cls, key, ctx, solver, xvec, bvec, device, compiled,
+                monitor=None, build_seconds: float = 0.0) -> "CompiledSolve":
+        """Snapshot the post-build, pre-run state of every graph variable."""
+        initial = {
+            name: {
+                t: (sh.data.copy(), None if sh.lo is None else sh.lo.copy())
+                for t, sh in var.shards.items()
+            }
+            for name, var in ctx.graph.variables.items()
+        }
+        return cls(
+            key=key, ctx=ctx, solver=solver, xvec=xvec, bvec=bvec,
+            device=device, compiled=compiled, monitor=monitor,
+            build_seconds=build_seconds, initial_state=initial,
+        )
+
+    def prepare(self, b, x0=None, rconfig=None) -> None:
+        """Reset for a fresh run: restore the initial image, rebind hosts.
+
+        Restores every variable's shard arrays, clears the solver tree's
+        :class:`~repro.solvers.base.SolveStats` *in place* (runtime
+        callbacks close over them), resets the monitor and the device
+        profiler clock, then writes the new ``b`` (and ``x0``, default
+        zeros — the build-time initial image) through the halo-reordering
+        host writes.
+        """
+        for name, var in self.ctx.graph.variables.items():
+            snap = self.initial_state.get(name)
+            if snap is None:
+                continue
+            for tile_id, (data, lo) in snap.items():
+                sh = var.shards.get(tile_id)
+                if sh is None:
+                    continue
+                sh.data[...] = data
+                if lo is not None and sh.lo is not None:
+                    sh.lo[...] = lo
+        for s in self.solver.iter_tree():
+            s.stats.reset()
+        if self.monitor is not None:
+            self.monitor.reset(rconfig)
+        self.device.profiler.reset()
+        self.bvec.write_global(np.asarray(b, dtype=np.float64))
+        if x0 is not None:
+            self.xvec.write_global(np.asarray(x0, dtype=np.float64))
+        self.runs += 1
+
+
+class ProgramCache:
+    """LRU cache of :class:`CompiledSolve` entries keyed by fingerprint."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ReproError("ProgramCache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CompiledSolve] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> CompiledSolve | None:
+        """Look up ``key``; counts a hit (and refreshes LRU order) or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CompiledSolve) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, key: str) -> bool:  # no LRU / counter side effects
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self):
+        s = self.stats()
+        return (
+            f"ProgramCache(size={s['size']}/{s['capacity']}, "
+            f"hits={s['hits']}, misses={s['misses']}, evictions={s['evictions']})"
+        )
+
+
+#: Process-wide cache used by ``solve(..., cache=True)`` and the CLI.
+_DEFAULT_CACHE = ProgramCache()
+
+
+def default_cache() -> ProgramCache:
+    """The process-wide :class:`ProgramCache` (``solve(..., cache=True)``)."""
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache) -> ProgramCache | None:
+    """``None``/``False`` → caching off; ``True`` → the process-wide
+    default; a :class:`ProgramCache` → itself."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return _DEFAULT_CACHE
+    if isinstance(cache, ProgramCache):
+        return cache
+    raise TypeError(f"cannot interpret cache={cache!r} (True/False/ProgramCache)")
+
+
+class SolverSession:
+    """A reusable solve pipeline pinned to one (matrix, config, shape).
+
+    The first :meth:`solve` builds and lowers the program; every later
+    call with the same structure rebinds ``b``/``x0`` into the cached
+    :class:`~repro.graph.CompiledProgram` and re-executes it — no symbolic
+    execution, no compiler passes, no re-partitioning.  Per-call keyword
+    overrides are allowed (e.g. a different ``num_tiles``) and simply key
+    a different cache entry.
+
+        session = SolverSession(matrix, "cg", grid_dims=(40, 40))
+        for b in rhs_stream:
+            x = session.solve(b).x
+    """
+
+    def __init__(self, matrix, config, cache: ProgramCache | None = None, **solve_kwargs):
+        if "device" in solve_kwargs:
+            raise ReproError(
+                "SolverSession manages its own devices; 'device' is not supported"
+            )
+        self.matrix = matrix
+        self.config = config
+        self.cache = cache if cache is not None else ProgramCache()
+        self.solve_kwargs = dict(solve_kwargs)
+
+    def solve(self, b, x0=None, **overrides):
+        """Solve ``A x = b`` through the session's compile cache."""
+        from repro.solvers.api import solve as _solve
+
+        if "device" in overrides:
+            raise ReproError(
+                "SolverSession manages its own devices; 'device' is not supported"
+            )
+        kwargs = {**self.solve_kwargs, **overrides}
+        return _solve(self.matrix, b, self.config, x0=x0, cache=self.cache, **kwargs)
+
+    def stats(self) -> dict:
+        """The session cache's hit/miss/eviction counters."""
+        return self.cache.stats()
+
+    def __repr__(self):
+        return f"SolverSession(config={self.config!r}, cache={self.cache!r})"
+
+
+def solve_many(matrix, bs, config, x0s=None, cache: ProgramCache | None = None,
+               **solve_kwargs) -> list:
+    """Solve one system per right-hand side in ``bs`` through a shared
+    session — the batch entry point (CLI ``batch`` subcommand).
+
+    ``x0s`` is an optional parallel list of initial guesses.  Returns one
+    :class:`~repro.solvers.api.SolveResult` per rhs, in order.
+    """
+    session = SolverSession(matrix, config, cache=cache, **solve_kwargs)
+    if x0s is not None and len(x0s) != len(bs):
+        raise ReproError(f"solve_many: {len(bs)} rhs but {len(x0s)} initial guesses")
+    return [
+        session.solve(b, x0=None if x0s is None else x0s[i])
+        for i, b in enumerate(bs)
+    ]

@@ -167,16 +167,32 @@ def _load_chrome(obj: dict):
     return events, meta
 
 
+#: Comparison slack for the timeline checks: timestamps are float
+#: microseconds converted from integer cycles, so exact boundary touches
+#: (sibling spans, shared scope ends) may differ by rounding noise.
+_TS_EPS = 1e-6
+
+
 def validate_chrome_trace(obj) -> list:
-    """Schema check of a Chrome trace object; returns a list of errors
-    (empty = valid).  This is what the CI bench-smoke job runs against the
-    ``--trace`` artifact before uploading it."""
+    """Schema + timeline check of a Chrome trace object; returns a list of
+    errors (empty = valid).  This is what the CI bench-smoke job runs
+    against the ``--trace`` artifact before uploading it.
+
+    Beyond per-record schema, the trace must describe one coherent BSP
+    timeline: events sorted by timestamp, counter tracks non-decreasing,
+    and spans on a thread either nested or disjoint.  A program rebuild
+    whose clock restarts at zero (the pre-fix graceful-degradation bug)
+    produces partially overlapping spans and fails here.
+    """
     errors: list[str] = []
     if not isinstance(obj, dict):
         return [f"top level must be an object, got {type(obj).__name__}"]
     te = obj.get("traceEvents")
     if not isinstance(te, list):
         return ["missing or non-list 'traceEvents'"]
+    last_ts = None
+    counter_last: dict[str, float] = {}
+    spans_by_thread: dict[tuple, list] = {}
     for i, rec in enumerate(te):
         where = f"traceEvents[{i}]"
         if not isinstance(rec, dict):
@@ -195,10 +211,21 @@ def validate_chrome_trace(obj) -> list:
         ts = rec.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts - _TS_EPS:
+            errors.append(
+                f"{where}: non-monotone timestamp {ts} after {last_ts} "
+                "(events must be sorted by ts)"
+            )
+        last_ts = ts if last_ts is None else max(last_ts, ts)
         if ph == "X":
             dur = rec.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{where}: bad dur {dur!r}")
+            else:
+                spans_by_thread.setdefault(
+                    (rec.get("pid"), rec.get("tid")), []
+                ).append((ts, dur, rec["name"] if isinstance(rec.get("name"), str) else "?", i))
             if "tid" not in rec:
                 errors.append(f"{where}: span missing tid")
         if ph == "C":
@@ -207,6 +234,39 @@ def validate_chrome_trace(obj) -> list:
                 errors.append(f"{where}: counter needs non-empty args")
             elif any(not isinstance(v, (int, float)) for v in args.values()):
                 errors.append(f"{where}: counter args must be numeric")
+            else:
+                name = rec.get("name")
+                prev = counter_last.get(name)
+                if prev is not None and ts < prev - _TS_EPS:
+                    errors.append(
+                        f"{where}: counter track {name!r} goes back in time "
+                        f"({ts} after {prev})"
+                    )
+                counter_last[name] = ts if prev is None else max(prev, ts)
         if ph == "i" and rec.get("s") not in ("g", "p", "t", None):
             errors.append(f"{where}: bad instant scope {rec.get('s')!r}")
+    errors.extend(_check_span_nesting(spans_by_thread))
+    return errors
+
+
+def _check_span_nesting(spans_by_thread: dict) -> list:
+    """Spans on one thread must nest or be disjoint — partial overlap means
+    two executions were written onto the same clock range."""
+    errors: list[str] = []
+    for (pid, tid), spans in spans_by_thread.items():
+        # Longest-first at equal starts so enclosing scopes open before
+        # their children.
+        stack: list[float] = []  # open span end times
+        for start, dur, name, idx in sorted(spans, key=lambda s: (s[0], -s[1])):
+            end = start + dur
+            while stack and start >= stack[-1] - _TS_EPS:
+                stack.pop()
+            if stack and end > stack[-1] + _TS_EPS:
+                errors.append(
+                    f"traceEvents[{idx}]: span {name!r} on pid={pid} tid={tid} "
+                    f"[{start}, {end}) partially overlaps an enclosing span "
+                    f"ending at {stack[-1]} (timeline not monotone)"
+                )
+                continue
+            stack.append(end)
     return errors

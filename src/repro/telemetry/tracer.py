@@ -39,6 +39,12 @@ class Tracer:
         self.device = None
         self._tile_busy: dict[int, int] = {}
         self._finalized = False
+        #: Cycles added to every emitted timestamp.  A graceful-degradation
+        #: rebuild runs on a *fresh* device whose profiler clock restarts at
+        #: zero; the resilient solve driver advances this offset by the
+        #: aborted attempt's cycles (:meth:`shift_clock`) so one tracer's
+        #: timeline stays monotone across program rebuilds.
+        self._ts_offset = 0
 
     # -- device binding ------------------------------------------------------------
 
@@ -55,21 +61,30 @@ class Tracer:
         )
 
     def now(self) -> int:
-        """The current cycle on the modeled BSP timeline."""
+        """The current cycle on the *device's* clock (offset excluded; the
+        emitters apply :attr:`_ts_offset` exactly once)."""
         return self.device.profiler.total_cycles if self.device is not None else 0
+
+    def shift_clock(self, cycles: int) -> None:
+        """Advance the timeline offset applied to subsequently emitted
+        events — called when execution moves to a rebuilt program whose
+        device clock restarts at zero (OOM graceful degradation)."""
+        if cycles < 0:
+            raise ValueError("clock shift must be non-negative")
+        self._ts_offset += int(cycles)
 
     # -- low-level emitters --------------------------------------------------------
 
     def span(self, name: str, cat: str, start: int, dur: int, args: dict | None = None):
-        self.events.append(SpanEvent(name, cat, start, dur, args or {}))
+        self.events.append(SpanEvent(name, cat, start + self._ts_offset, dur, args or {}))
 
     def counter(self, name: str, values: dict, ts: int | None = None):
-        self.events.append(CounterEvent(name, self.now() if ts is None else ts, values))
+        ts = self.now() if ts is None else ts
+        self.events.append(CounterEvent(name, ts + self._ts_offset, values))
 
     def instant(self, name: str, cat: str, args: dict | None = None, ts: int | None = None):
-        self.events.append(
-            InstantEvent(name, cat, self.now() if ts is None else ts, args or {})
-        )
+        ts = self.now() if ts is None else ts
+        self.events.append(InstantEvent(name, cat, ts + self._ts_offset, args or {}))
 
     @contextmanager
     def scope(self, label: str):

@@ -151,6 +151,31 @@ class TestDegradation:
         assert r.failure is None
         assert r.relative_residual <= 1e-5
 
+    def test_degraded_restart_warm_starts_from_checkpoint(self):
+        # An OOM after the solve has made progress must not discard it: the
+        # rebuilt program warm-starts from the latest checkpointed iterate
+        # and the report counts the carried iterations.
+        crs, dims, b = _system()
+        r = solve(crs, b, CG, num_ipus=2, tiles_per_ipu=16, grid_dims=dims,
+                  inject_faults="seed=1;tile_oom:tile=3,at=300",
+                  resilience="checkpoint_every=5")
+        rep = r.resilience
+        assert rep.outcome == "degraded"
+        assert rep.carried_iterations > 0
+        assert rep.to_dict()["carried_iterations"] == rep.carried_iterations
+        assert f"carried_iterations={rep.carried_iterations}" in rep.summary()
+        assert r.relative_residual <= 1e-5
+
+    def test_oom_before_first_checkpoint_carries_nothing(self):
+        # at=40 fires before any checkpoint exists; the restart is cold.
+        crs, dims, b = _system()
+        r = solve(crs, b, CG, num_ipus=2, tiles_per_ipu=16, grid_dims=dims,
+                  inject_faults="seed=1;tile_oom:tile=3,at=40",
+                  resilience="checkpoint_every=5")
+        assert r.resilience.outcome == "degraded"
+        assert r.resilience.carried_iterations == 0
+        assert "carried_iterations" not in r.resilience.summary()
+
     def test_degrade_on_oom_false_raises(self):
         crs, dims, b = _system()
         with pytest.raises(SRAMOverflowError):

@@ -1,0 +1,306 @@
+"""The structure-keyed compile cache and reusable solve sessions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.passes import compile_invocations, pass_invocations
+from repro.machine import IPUDevice
+from repro.solvers import (
+    ProgramCache,
+    SolverSession,
+    default_cache,
+    fingerprint_matrix,
+    fingerprint_solve,
+    solve,
+    solve_many,
+)
+from repro.solvers.session import resolve_cache
+from repro.sparse import ModifiedCRS, poisson2d, poisson3d
+
+CG = {"solver": "cg", "tol": 1e-6}
+
+
+def _system(n=6):
+    crs, dims = poisson2d(n)
+    b = np.random.default_rng(0).standard_normal(crs.n)
+    return crs, dims, b
+
+
+def _scaled(crs, factor):
+    """Same sparsity pattern, different values."""
+    return ModifiedCRS(crs.diag * factor, crs.values * factor,
+                       crs.col_idx, crs.row_ptr)
+
+
+class TestFingerprint:
+    def test_matrix_hash_is_deterministic(self):
+        crs, _, _ = _system()
+        assert fingerprint_matrix(crs) == fingerprint_matrix(crs)
+
+    def test_matrix_hash_covers_values_not_just_structure(self):
+        # Values are baked into tile-local blocks at distribution time, so a
+        # value-only change must produce a different key.
+        crs, _, _ = _system()
+        assert fingerprint_matrix(crs) != fingerprint_matrix(_scaled(crs, 2.0))
+
+    def test_solve_key_excludes_rhs_and_x0(self):
+        crs, dims, _ = _system()
+        k1 = fingerprint_solve(crs, CG, grid_dims=dims)
+        k2 = fingerprint_solve(crs, CG, grid_dims=dims)
+        assert k1 == k2
+
+    @pytest.mark.parametrize("change", [
+        {"num_ipus": 2},
+        {"tiles_per_ipu": 8},
+        {"num_tiles": 3},
+        {"grid_dims": None},
+        {"blockwise_halo": False},
+        {"optimize": False},
+        {"backend": "fast"},
+        {"resilient": True},
+    ])
+    def test_every_structural_knob_changes_the_key(self, change):
+        crs, dims, _ = _system()
+        base = dict(num_ipus=1, tiles_per_ipu=4, grid_dims=dims)
+        assert fingerprint_solve(crs, CG, **base) != \
+            fingerprint_solve(crs, CG, **{**base, **change})
+
+    def test_config_change_changes_the_key(self):
+        crs, dims, _ = _system()
+        assert fingerprint_solve(crs, CG, grid_dims=dims) != \
+            fingerprint_solve(crs, {"solver": "cg", "tol": 1e-8},
+                              grid_dims=dims)
+
+    def test_equivalent_config_spellings_share_a_key(self):
+        # load_config canonicalizes; a JSON string and the same dict must
+        # land on the same cache entry.
+        import json
+
+        crs, dims, _ = _system()
+        assert fingerprint_solve(crs, CG, grid_dims=dims) == \
+            fingerprint_solve(crs, json.dumps(CG), grid_dims=dims)
+
+
+class TestProgramCache:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ReproError):
+            ProgramCache(capacity=0)
+
+    def test_lru_eviction_counts_and_drops_oldest(self):
+        cache = ProgramCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, object())
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 1,
+                                 "size": 2, "capacity": 2}
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_get_refreshes_lru_order(self):
+        cache = ProgramCache(capacity=2)
+        cache.put("a", object())
+        cache.put("b", object())
+        assert cache.get("a") is not None  # refresh: "b" is now oldest
+        cache.put("c", object())
+        assert "a" in cache and "b" not in cache
+
+    def test_contains_has_no_counter_side_effects(self):
+        cache = ProgramCache()
+        cache.put("a", object())
+        assert "a" in cache and "zzz" not in cache
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+
+    def test_clear_and_repr(self):
+        cache = ProgramCache(capacity=3)
+        cache.put("a", object())
+        cache.get("missing")
+        assert "hits=0" in repr(cache) and "misses=1" in repr(cache)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_resolve_cache_forms(self):
+        cache = ProgramCache()
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(True) is default_cache()
+        assert resolve_cache(cache) is cache
+        with pytest.raises(TypeError):
+            resolve_cache("yes please")
+
+
+class TestCacheHits:
+    def test_hit_is_bit_identical_and_runs_no_passes(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        cold = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        assert cache.stats()["misses"] == 1
+        passes0, compiles0 = pass_invocations(), compile_invocations()
+        hit = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        # The hit re-executed the cached CompiledProgram without re-lowering.
+        assert pass_invocations() == passes0
+        assert compile_invocations() == compiles0
+        assert cache.stats()["hits"] == 1
+        np.testing.assert_array_equal(hit.x, cold.x)
+        assert hit.cycles == cold.cycles
+        assert hit.stats.residuals == cold.stats.residuals
+        assert hit.relative_residual == cold.relative_residual
+
+    def test_hit_with_new_rhs_matches_uncached_solve(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        b2 = np.random.default_rng(9).standard_normal(crs.n)
+        hit = solve(crs, b2, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        ref = solve(crs, b2, CG, grid_dims=dims, tiles_per_ipu=4)
+        assert cache.stats()["hits"] == 1
+        np.testing.assert_array_equal(hit.x, ref.x)
+        assert hit.cycles == ref.cycles
+
+    def test_hit_with_x0_matches_uncached_solve(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        x0 = np.random.default_rng(2).standard_normal(crs.n)
+        hit = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache,
+                    x0=x0)
+        ref = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, x0=x0)
+        np.testing.assert_array_equal(hit.x, ref.x)
+        assert hit.cycles == ref.cycles
+
+    def test_value_change_misses(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        solve(_scaled(crs, 2.0), b, CG, grid_dims=dims, tiles_per_ipu=4,
+              cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2, "evictions": 0,
+                                 "size": 2, "capacity": 8}
+
+    def test_shape_and_config_changes_miss(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=8, cache=cache)
+        solve(crs, b, {"solver": "bicgstab", "tol": 1e-6}, grid_dims=dims,
+              tiles_per_ipu=4, cache=cache)
+        assert cache.stats()["misses"] == 3 and cache.stats()["hits"] == 0
+
+    def test_eviction_under_capacity_pressure(self):
+        crs, dims, b = _system()
+        cache = ProgramCache(capacity=1)
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=8, cache=cache)
+        # The 4-tile entry was evicted; solving it again recompiles.
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["misses"] == 3 and stats["hits"] == 0
+        assert stats["size"] == 1
+
+    def test_explicit_device_disables_caching(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        dev = IPUDevice(num_ipus=1, tiles_per_ipu=4)
+        solve(crs, b, CG, grid_dims=dims, device=dev, cache=cache)
+        assert len(cache) == 0 and cache.stats()["misses"] == 0
+
+    def test_stats_are_detached_per_result(self):
+        # Under caching the solver tree's stats are reset in place on every
+        # hit; each SolveResult must keep its own copy.
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        first = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        its = first.iterations
+        solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4, cache=cache)
+        assert first.iterations == its
+
+
+class TestSolverSession:
+    def test_session_solves_and_counts(self):
+        crs, dims, b = _system()
+        session = SolverSession(crs, CG, grid_dims=dims, tiles_per_ipu=4)
+        r1 = session.solve(b)
+        r2 = session.solve(b)
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert r1.cycles == r2.cycles
+        assert session.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                   "size": 1, "capacity": 8}
+
+    def test_session_rejects_device(self):
+        crs, dims, b = _system()
+        dev = IPUDevice(num_ipus=1, tiles_per_ipu=4)
+        with pytest.raises(ReproError, match="device"):
+            SolverSession(crs, CG, device=dev)
+        session = SolverSession(crs, CG, grid_dims=dims, tiles_per_ipu=4)
+        with pytest.raises(ReproError, match="device"):
+            session.solve(b, device=dev)
+
+    def test_per_call_overrides_key_new_entries(self):
+        crs, dims, b = _system()
+        session = SolverSession(crs, CG, grid_dims=dims, tiles_per_ipu=4)
+        session.solve(b)
+        session.solve(b, tiles_per_ipu=8)
+        assert session.stats()["misses"] == 2 and len(session.cache) == 2
+
+    def test_sessions_can_share_a_cache(self):
+        crs, dims, b = _system()
+        cache = ProgramCache()
+        s1 = SolverSession(crs, CG, cache=cache, grid_dims=dims, tiles_per_ipu=4)
+        s2 = SolverSession(crs, CG, cache=cache, grid_dims=dims, tiles_per_ipu=4)
+        s1.solve(b)
+        s2.solve(b)  # second session hits the first one's entry
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "size": 1, "capacity": 8}
+
+    def test_solve_many_returns_one_result_per_rhs(self):
+        crs, dims, _ = _system()
+        rng = np.random.default_rng(5)
+        bs = [rng.standard_normal(crs.n) for _ in range(3)]
+        cache = ProgramCache()
+        results = solve_many(crs, bs, CG, cache=cache, grid_dims=dims,
+                             tiles_per_ipu=4)
+        assert len(results) == 3
+        for b, r in zip(bs, results):
+            ref = solve(crs, b, CG, grid_dims=dims, tiles_per_ipu=4)
+            np.testing.assert_array_equal(r.x, ref.x)
+        assert cache.stats()["misses"] == 1 and cache.stats()["hits"] == 2
+
+    def test_solve_many_validates_x0s_length(self):
+        crs, dims, b = _system()
+        with pytest.raises(ReproError, match="initial guesses"):
+            solve_many(crs, [b, b], CG, x0s=[b], grid_dims=dims,
+                       tiles_per_ipu=4)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestCachedResilience:
+    FAULTS = "seed=7;bitflip:p=0.03,where=exchange"
+    KW = dict(num_ipus=2, tiles_per_ipu=16)
+
+    def _system3d(self):
+        crs, dims = poisson3d(8)
+        b = np.random.default_rng(3).standard_normal(crs.n)
+        return crs, dims, b
+
+    def test_cached_faulty_runs_replay_bit_identically(self):
+        # Session reuse under injection: a hit resets the monitor and the
+        # fault stream, so the recovered run replays exactly — solution,
+        # cycles, and the full resilience report.
+        crs, dims, b = self._system3d()
+        session = SolverSession(crs, CG, grid_dims=dims, **self.KW)
+        runs = [session.solve(b, inject_faults=self.FAULTS, resilience=True)
+                for _ in range(2)]
+        assert session.stats()["hits"] >= 1
+        assert runs[0].resilience.rollbacks > 0
+        assert np.array_equal(runs[0].x, runs[1].x)
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].resilience.to_dict() == runs[1].resilience.to_dict()
+
+    def test_cached_faulty_run_matches_uncached(self):
+        crs, dims, b = self._system3d()
+        cached = solve(crs, b, CG, grid_dims=dims, cache=ProgramCache(),
+                       inject_faults=self.FAULTS, resilience=True, **self.KW)
+        plain = solve(crs, b, CG, grid_dims=dims,
+                      inject_faults=self.FAULTS, resilience=True, **self.KW)
+        assert np.array_equal(cached.x, plain.x)
+        assert cached.cycles == plain.cycles
+        assert cached.resilience.to_dict() == plain.resilience.to_dict()

@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.telemetry import (
@@ -120,6 +121,75 @@ class TestValidation:
 
     def test_accepts_valid(self):
         assert validate_chrome_trace(chrome_trace(sample_events(), META)) == []
+
+
+class TestTimelineValidation:
+    """Regressions for the graceful-degradation timeline bug: a rebuilt
+    program's clock restarting at zero produced out-of-order timestamps and
+    partially overlapping spans that the validator used to wave through."""
+
+    @staticmethod
+    def _span(name, ts, dur, tid=0):
+        return {"ph": "X", "pid": 0, "tid": tid, "name": name, "cat": "scope",
+                "ts": ts, "dur": dur}
+
+    def test_rejects_out_of_order_timestamps(self):
+        obj = {"traceEvents": [self._span("a", 100, 10), self._span("b", 5, 10)]}
+        errors = validate_chrome_trace(obj)
+        assert any("non-monotone timestamp" in e for e in errors)
+
+    def test_rejects_partially_overlapping_spans(self):
+        # [0, 100) and [50, 150) on one thread: two executions written onto
+        # the same clock range — exactly what an unshifted rebuild produces.
+        obj = {"traceEvents": [self._span("run1", 0, 100),
+                               self._span("run2", 50, 100)]}
+        errors = validate_chrome_trace(obj)
+        assert any("partially overlaps" in e for e in errors)
+
+    def test_accepts_nested_and_disjoint_spans(self):
+        obj = {"traceEvents": [
+            self._span("outer", 0, 100),
+            self._span("child", 10, 20),
+            self._span("child2", 40, 60),   # closes flush with outer
+            self._span("later", 100, 50),
+        ]}
+        assert validate_chrome_trace(obj) == []
+
+    def test_overlap_on_different_threads_is_fine(self):
+        obj = {"traceEvents": [self._span("t0", 0, 100, tid=0),
+                               self._span("t1", 50, 100, tid=1)]}
+        # ts order is still required globally; these are sorted.
+        assert validate_chrome_trace(obj) == []
+
+    def test_rejects_counter_track_going_backwards(self):
+        obj = {"traceEvents": [
+            {"ph": "C", "pid": 0, "name": "residual", "ts": 100,
+             "args": {"v": 1.0}},
+            {"ph": "M", "pid": 0, "name": "process_name", "ts": 0,
+             "args": {"name": "x"}},
+            {"ph": "C", "pid": 0, "name": "residual", "ts": 40,
+             "args": {"v": 0.5}},
+        ]}
+        errors = validate_chrome_trace(obj)
+        assert any("goes back in time" in e for e in errors)
+
+    def test_degraded_solve_trace_validates_clean(self):
+        # End to end: a solve that OOMs mid-run, degrades, and rebuilds must
+        # still export one coherent monotone timeline (the tracer shifts the
+        # rebuilt run's clock past the aborted run).
+        from repro.solvers import solve
+        from repro.sparse import poisson3d
+        from repro.telemetry import chrome_trace
+
+        crs, dims = poisson3d(8)
+        b = np.random.default_rng(3).standard_normal(crs.n)
+        r = solve(crs, b, {"solver": "cg", "tol": 1e-6}, num_ipus=2,
+                  tiles_per_ipu=16, grid_dims=dims, trace=True,
+                  inject_faults="seed=1;tile_oom:tile=3,at=300",
+                  resilience="checkpoint_every=5")
+        assert r.resilience.outcome == "degraded"
+        obj = chrome_trace(r.telemetry.events, meta=r.telemetry.meta)
+        assert validate_chrome_trace(obj) == []
 
 
 class TestReportAggregation:

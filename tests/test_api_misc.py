@@ -41,6 +41,25 @@ class TestSolveResult:
         assert res.engine.device is dev
 
 
+class TestResidualDtype:
+    def test_float32_rhs_reports_f64_relative_residual(self):
+        # Regression: ``np.linalg.norm(b)`` in the caller's float32 used to
+        # normalize an f64 residual — the reported relative residual must be
+        # identical whichever dtype the rhs arrives in.
+        crs, dims = poisson2d(8)
+        b64 = np.random.default_rng(1).standard_normal(crs.n)
+        b32 = b64.astype(np.float32)
+        cfg = {"solver": "cg", "tol": 1e-6}
+        r32 = solve(crs, b32, cfg, grid_dims=dims, tiles_per_ipu=4)
+        r64 = solve(crs, b32.astype(np.float64), cfg, grid_dims=dims,
+                    tiles_per_ipu=4)
+        assert r32.relative_residual == r64.relative_residual
+        # And it really is the f64 quantity: recompute on the host.
+        bref = b32.astype(np.float64)
+        expect = np.linalg.norm(crs.spmv(r32.x) - bref) / np.linalg.norm(bref)
+        assert r32.relative_residual == expect
+
+
 class TestBenchHarness:
     def test_print_table_returns_text(self, capsys):
         text = print_table("T", ["a", "bb"], [[1, 22], [333, 4]])
