@@ -1,0 +1,30 @@
+"""Shared pytest plumbing for the benchmark targets.
+
+``--backend`` selects which runtime backends the wall-clock benches
+measure: ``all`` (the default) sweeps sim/fast/fused; a single name
+narrows the sweep to sim plus that backend (sim stays in as the
+bit-identity reference).  The cycle-count benches always run under sim —
+the fast and fused backends carry no cycle model (docs/runtime.md).
+"""
+
+import pytest
+
+BACKEND_CHOICES = ("all", "sim", "fast", "fused")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend", choices=list(BACKEND_CHOICES), default="all",
+        help="runtime backend(s) for the wall-clock benches: 'all' sweeps "
+             "sim/fast/fused; a single name measures sim plus that backend")
+
+
+@pytest.fixture
+def bench_backends(request):
+    """Backends tuple for the wall-clock benches; sim is always first."""
+    sel = request.config.getoption("--backend")
+    if sel == "all":
+        return ("sim", "fast", "fused")
+    if sel == "sim":
+        return ("sim",)
+    return ("sim", sel)

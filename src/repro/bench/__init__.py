@@ -3,6 +3,7 @@
 from repro.bench.harness import (
     backend_wallclock,
     cached_solve_wallclock,
+    solver_backend_wallclock,
     ipu_spmv_run,
     print_series,
     print_table,
@@ -19,5 +20,6 @@ __all__ = [
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",
+    "solver_backend_wallclock",
     "cached_solve_wallclock",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "ipu_spmv_run",
     "SpMVRun",
     "backend_wallclock",
+    "solver_backend_wallclock",
     "cached_solve_wallclock",
 ]
 
@@ -162,23 +163,28 @@ def ipu_spmv_run(crs, grid_dims=None, num_ipus: int = 1, tiles_per_ipu: int = 16
 
 
 def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
-                      tiles_per_ipu: int = 16, repeats: int = 1) -> dict:
-    """Host wall-clock of the same SpMV program under both runtime backends.
+                      tiles_per_ipu: int = 16, repeats: int = 1,
+                      backends=("sim", "fast", "fused")) -> dict:
+    """Host wall-clock of the same SpMV program under each runtime backend.
 
-    Builds and compiles an identical schedule twice (fresh device each
-    time), executes it once under ``sim`` and once under ``fast``, and
-    returns the wall-clock seconds of each ``Engine.run()`` together with
-    the speedup and a bit-identity check of the results.  Wall-clock
-    numbers are host measurements and therefore *not* deterministic —
-    benches that record them should keep them out of the cycle-count
-    artifacts.
+    Builds and compiles an identical schedule once per backend (fresh
+    device each time), executes it, and returns the wall-clock seconds of
+    each ``Engine.run()`` as ``<backend>_seconds`` keys, together with
+    speedups over the first backend (``speedup`` = first/"fast",
+    ``speedup_<b>`` = first/b for the rest), a bit-identity check of every
+    result against the first backend's, and — for kernel-dispatch
+    backends — the :class:`~repro.graph.GlobalCounters` delta under
+    ``<backend>_counters``.  Wall-clock numbers are host measurements and
+    therefore *not* deterministic — benches that record them should keep
+    them out of the cycle-count artifacts.
     """
-    from repro.graph import Engine
+    from repro.graph import Engine, GlobalCounters
 
     seconds: dict = {}
     outputs: dict = {}
+    counters: dict = {}
     sim_cycles = 0
-    for backend in ("sim", "fast"):
+    for backend in backends:
         device = IPUDevice(num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu)
         ctx = TensorContext(device)
         A = DistributedMatrix(ctx, crs, grid_dims=grid_dims)
@@ -190,22 +196,99 @@ def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
         else:
             ctx.Repeat(repeats, lambda: A.spmv(x, y))
         engine = Engine(ctx.compile(), backend=backend)
+        before = GlobalCounters.snapshot()
         t0 = time.perf_counter()
         engine.run()
         seconds[backend] = time.perf_counter() - t0
         outputs[backend] = y.read_global()
+        if getattr(engine.backend, "uses_kernels", False):
+            counters[backend] = GlobalCounters.delta(before)
         if backend == "sim":
             sim_cycles = device.profiler.total_cycles
-    return {
+    ref = backends[0]
+    result = {
         "num_ipus": num_ipus,
         "tiles_per_ipu": tiles_per_ipu,
         "repeats": repeats,
-        "sim_seconds": seconds["sim"],
-        "fast_seconds": seconds["fast"],
-        "speedup": seconds["sim"] / max(seconds["fast"], 1e-12),
-        "bit_identical": bool(np.array_equal(outputs["sim"], outputs["fast"])),
+        "backends": list(backends),
+        "bit_identical": bool(all(
+            np.array_equal(outputs[ref], outputs[b]) for b in backends
+        )),
         "sim_cycles": sim_cycles,
     }
+    for b in backends:
+        result[f"{b}_seconds"] = seconds[b]
+        if b != ref:
+            result[f"speedup_{b}"] = seconds[ref] / max(seconds[b], 1e-12)
+    if "fast" in seconds and ref != "fast":
+        result["speedup"] = seconds[ref] / max(seconds["fast"], 1e-12)
+    for b, kc in counters.items():
+        result[f"{b}_counters"] = kc
+    return result
+
+
+def solver_backend_wallclock(crs, config, b, grid_dims=None, num_ipus: int = 1,
+                             tiles_per_ipu: int = 16,
+                             backends=("sim", "fast", "fused")) -> dict:
+    """Engine-run host wall-clock of one full solve under each backend.
+
+    Unlike :func:`backend_wallclock` (a single SpMV program, numpy-bound
+    under every backend) this times a complete solver — where the per-tile
+    dispatch overhead of the step interpreters dominates and the fused
+    backend's whole-device kernels pay off.  Each backend gets a fresh
+    build and compile; only ``Engine.run()`` is timed.  Returns
+    ``<backend>_seconds``, ``speedup_<b>`` over the first backend,
+    ``fused_over_fast`` when both are present, a bit-identity check of the
+    solutions against the first backend's, iteration counts, and the
+    :class:`~repro.graph.GlobalCounters` delta for kernel-dispatch
+    backends.
+    """
+    from repro.graph import Engine, GlobalCounters
+    from repro.solvers.api import _build_program
+
+    seconds: dict = {}
+    outputs: dict = {}
+    counters: dict = {}
+    iters: dict = {}
+    sim_cycles = 0
+    for backend in backends:
+        ctx, solver, xvec, _, device = _build_program(
+            crs, b, config, num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu,
+            grid_dims=grid_dims)
+        engine = Engine(ctx.compile(), backend=backend)
+        before = GlobalCounters.snapshot()
+        t0 = time.perf_counter()
+        engine.run()
+        seconds[backend] = time.perf_counter() - t0
+        if getattr(solver, "x_ext", None) is not None:
+            outputs[backend] = solver.x_ext.read_global()
+        else:
+            outputs[backend] = xvec.read_global()
+        iters[backend] = solver.stats.total_iterations
+        if getattr(engine.backend, "uses_kernels", False):
+            counters[backend] = GlobalCounters.delta(before)
+        if backend == "sim":
+            sim_cycles = device.profiler.total_cycles
+    ref = backends[0]
+    result = {
+        "num_ipus": num_ipus,
+        "tiles_per_ipu": tiles_per_ipu,
+        "backends": list(backends),
+        "iterations": iters,
+        "bit_identical": bool(all(
+            np.array_equal(outputs[ref], outputs[b]) for b in backends
+        )),
+        "sim_cycles": sim_cycles,
+    }
+    for b in backends:
+        result[f"{b}_seconds"] = seconds[b]
+        if b != ref:
+            result[f"speedup_{b}"] = seconds[ref] / max(seconds[b], 1e-12)
+    if "fast" in seconds and "fused" in seconds:
+        result["fused_over_fast"] = seconds["fast"] / max(seconds["fused"], 1e-12)
+    for b, kc in counters.items():
+        result[f"{b}_counters"] = kc
+    return result
 
 
 def cached_solve_wallclock(crs, config, bs, grid_dims=None, num_ipus: int = 1,

@@ -130,6 +130,12 @@ def _cmd_solve(args) -> int:
         print(f"modeled IPU time:  {result.seconds * 1e3:.3f} ms ({result.cycles} cycles)")
     else:
         print(f"backend:           {result.backend} (numerics only, no cycle model)")
+    if result.kernel_counters is not None:
+        kc = result.kernel_counters
+        print(f"fused kernels:     {kc['kernels']} launches / {kc['dispatches']} "
+              f"dispatches ({kc['fused_compute_sets']} compute sets + "
+              f"{kc['fused_exchanges']} exchanges fused, "
+              f"{kc['fallback_vertices']} fallback vertices)")
     if repeat > 1:
         identical = bool(
             np.array_equal(result.x, first.x) and result.cycles == first.cycles
@@ -322,9 +328,10 @@ def main(argv=None) -> int:
     p_solve.add_argument("--ipus", type=int, default=1)
     p_solve.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
     p_solve.add_argument("--seed", type=int, default=0)
-    p_solve.add_argument("--backend", choices=["sim", "fast"], default="sim",
-                         help="runtime backend: cycle-accurate sim (default) or "
-                              "numerics-only fast (docs/runtime.md)")
+    p_solve.add_argument("--backend", choices=["sim", "fast", "fused"], default="sim",
+                         help="runtime backend: cycle-accurate sim (default), "
+                              "numerics-only fast, or kernel-dispatch fused "
+                              "(docs/runtime.md)")
     p_solve.add_argument("--profile", action="store_true", help="print the cycle breakdown")
     p_solve.add_argument("--trace",
                          help="write a Chrome trace_event JSON (Perfetto-loadable) of "
@@ -365,7 +372,7 @@ def main(argv=None) -> int:
     p_batch.add_argument("--ipus", type=int, default=1)
     p_batch.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
     p_batch.add_argument("--seed", type=int, default=0)
-    p_batch.add_argument("--backend", choices=["sim", "fast"], default="sim")
+    p_batch.add_argument("--backend", choices=["sim", "fast", "fused"], default="sim")
     p_batch.add_argument("--output",
                          help="write the stacked solutions to a .npy file, one row per rhs")
     p_batch.set_defaults(fn=_cmd_batch)

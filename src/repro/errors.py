@@ -16,6 +16,7 @@ __all__ = [
     "SolverBreakdownError",
     "DivergenceError",
     "FaultSpecError",
+    "BackendCapabilityError",
 ]
 
 
@@ -107,3 +108,21 @@ class FaultSpecError(ReproError, ValueError):
     """A fault-plan spec (``repro.faults``) failed to parse or validate."""
 
     exit_code = 14
+
+
+class BackendCapabilityError(ReproError, ValueError):
+    """A runtime backend was asked for a capability it cannot provide.
+
+    The untimed backends (``fast``, ``fused``) have no cycle clock, so
+    attaching a tracer or a fault injector — both defined on the simulated
+    superstep timeline — is a caller error, reported uniformly through this
+    class (``docs/runtime.md``).
+    """
+
+    exit_code = 15
+
+    def __init__(self, message: str, *, backend: str | None = None,
+                 capability: str | None = None):
+        self.backend = backend
+        self.capability = capability
+        super().__init__(message)

@@ -47,6 +47,8 @@ from repro.graph.passes import (
 from repro.graph.runtime import (
     Backend,
     FastBackend,
+    FusedBackend,
+    GlobalCounters,
     SimBackend,
     register_backend,
     resolve_backend,
@@ -82,6 +84,8 @@ __all__ = [
     "Backend",
     "SimBackend",
     "FastBackend",
+    "FusedBackend",
+    "GlobalCounters",
     "register_backend",
     "resolve_backend",
 ]

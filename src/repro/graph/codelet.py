@@ -14,19 +14,61 @@ must be pure over their bindings so the engine stays deterministic.
 
 from __future__ import annotations
 
-__all__ = ["Codelet", "Vertex", "ComputeSet"]
+from dataclasses import dataclass
+
+__all__ = [
+    "Codelet",
+    "Vertex",
+    "ComputeSet",
+    "ElementwiseSpec",
+    "ReduceSpec",
+    "SpmvSpec",
+]
+
+
+@dataclass(frozen=True)
+class ElementwiseSpec:
+    """``out_var[tile] = expr`` — a fused elementwise assignment on one tile."""
+
+    expr: object  # repro.tensordsl Expr
+    out_var: object  # repro.graph Variable
+
+
+@dataclass(frozen=True)
+class ReduceSpec:
+    """``out_var[tile] = reduce(expr)`` — a per-tile partial reduction."""
+
+    expr: object
+    out_var: object
+    op: str  # "sum" | "max" | "min"
+
+
+@dataclass(frozen=True)
+class SpmvSpec:
+    """``y[tile] = diag*x + A_offdiag @ [x | halo]`` — one tile of a CRS SpMV."""
+
+    matrix: object  # repro.sparse DistributedMatrix
+    x: object  # DistributedVector
+    y: object  # DistributedVector
 
 
 class Codelet:
-    """A named tile-local computation with a cycle cost model."""
+    """A named tile-local computation with a cycle cost model.
 
-    def __init__(self, name: str, run, cycles, category: str = "elementwise"):
+    ``spec`` optionally carries declarative metadata (Elementwise/Reduce/
+    SpmvSpec) describing *what* the codelet computes; the kernel-lowering
+    pass (:mod:`repro.graph.passes.kernels`) pattern-matches on it to build
+    whole-device vectorized kernels.  Codelets without a spec still run
+    everywhere — lowering falls back to batched per-vertex dispatch."""
+
+    def __init__(self, name: str, run, cycles, category: str = "elementwise", spec=None):
         self.name = name
         self._run = run
         self._cycles = cycles
         #: Profiler bucket (Table IV buckets: spmv / ilu_solve / reduce /
         #: elementwise / extended_precision / ...).
         self.category = category
+        self.spec = spec
 
     def run(self, ctx: dict) -> None:
         self._run(ctx)

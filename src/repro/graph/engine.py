@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.passes.base import CompiledProgram
+from repro.graph.passes.kernels import FusedKernel
 from repro.graph.program import (
     Execute,
     Exchange,
@@ -63,6 +64,11 @@ class Engine:
         self.injector = injector
         if injector is not None:
             self.backend.set_fault_injector(injector)
+        # Kernel-dispatch backends route whole blocks through the compiled
+        # kernel schedule instead of stepping compute sets one at a time.
+        self._kernel_schedule = (
+            program.kernels if getattr(self.backend, "uses_kernels", False) else None
+        )
         # Execution statistics (compile-proxy counters live in compiler.py).
         self.supersteps = 0
         self.exchanges = 0
@@ -94,13 +100,42 @@ class Engine:
         if self.tracer is not None:
             self.tracer.finalize()
 
+    def _run_kernel_items(self, step: Step) -> bool:
+        """Replay a block's fused-kernel item list, if one applies.
+
+        Under a kernel-dispatch backend a block (``Sequence``, loop body,
+        branch body) executes as its lowered items — fused kernels launch as
+        single dispatches, with engine superstep/exchange statistics kept in
+        parity via the kernels' absorbed-step counts.  Returns False when
+        the block must be interpreted step by step instead.
+        """
+        if self._kernel_schedule is None:
+            return False
+        items = self._kernel_schedule.items_for(step)
+        if items is None:
+            return False
+        for item in items:
+            if isinstance(item, FusedKernel):
+                self.supersteps += item.n_compute
+                self.exchanges += item.n_exchange
+                self.backend.run_kernel(item)
+            else:
+                self._run_step(item)
+        return True
+
+    def _run_block(self, step: Step) -> None:
+        """Run a loop/branch body: fused items when available, else interpret."""
+        if not self._run_kernel_items(step):
+            self._run_step(step)
+
     def _run_step(self, step: Step) -> None:
         if isinstance(step, Sequence):
             if step.label is not None:
                 with self.backend.scope(step.label):
-                    for s in step.steps:
-                        self._run_step(s)
-            else:
+                    if not self._run_kernel_items(step):
+                        for s in step.steps:
+                            self._run_step(s)
+            elif not self._run_kernel_items(step):
                 for s in step.steps:
                     self._run_step(s)
         elif isinstance(step, Execute):
@@ -124,9 +159,9 @@ class Engine:
         elif isinstance(step, If):
             self.backend.control()
             if self.read_scalar(step.cond) != 0.0:
-                self._run_step(step.then_body)
+                self._run_block(step.then_body)
             elif step.else_body is not None:
-                self._run_step(step.else_body)
+                self._run_block(step.else_body)
         elif isinstance(step, HostCallback):
             self.host_callbacks += 1
             step.fn(self)
@@ -139,7 +174,7 @@ class Engine:
         for _ in range(step.count):
             self.loop_iterations += 1
             self.backend.control()
-            self._run_step(step.body)
+            self._run_block(step.body)
 
     def _run_repeat_while(self, step: RepeatWhile) -> None:
         iters = 0
@@ -152,4 +187,4 @@ class Engine:
                 break
             iters += 1
             self.loop_iterations += 1
-            self._run_step(step.body)
+            self._run_block(step.body)

@@ -48,15 +48,20 @@ class Graph:
         """Create a variable with a full copy on every tile in ``tile_ids``
         (default: all tiles).  Used for solver scalars."""
         var = Variable(name, shape, dtype, replicated=True)
-        tiles = list(tile_ids) if tile_ids is not None else range(self.device.num_tiles)
-        for t in tiles:
-            self._alloc_shard(var, Interval(t, 0, var.size))
+        tiles = list(tile_ids) if tile_ids is not None else list(range(self.device.num_tiles))
+        np_dtype = NUMPY_DTYPES[var.dtype]
+        var.flat_data = np.zeros((len(tiles), var.size), dtype=np_dtype)
+        if var.paired:
+            var.flat_lo = np.zeros((len(tiles), var.size), dtype=np.float32)
+        for row, t in enumerate(tiles):
+            var.replica_rows[t] = row
+            self._alloc_shard(var, Interval(t, 0, var.size), row=row)
         return self._register(var)
 
     def add_single_tile(self, name: str, shape, dtype: str = "float32", tile_id: int = 0) -> Variable:
         """Create a variable living entirely on one tile."""
         var = Variable(name, shape, dtype)
-        self._alloc_shard(var, Interval(tile_id, 0, var.size))
+        self._allocate(var, [Interval(tile_id, 0, var.size)])
         return self._register(var)
 
     def _register(self, var: Variable) -> Variable:
@@ -97,16 +102,26 @@ class Graph:
     # -- storage ---------------------------------------------------------------------
 
     def _allocate(self, var: Variable, mapping) -> None:
+        # One flat per-device buffer, indexed by global element; every shard
+        # is a view (contiguity of the mapping is checked in _check_mapping).
+        np_dtype = NUMPY_DTYPES[var.dtype]
+        var.flat_data = np.zeros(var.size, dtype=np_dtype)
+        if var.paired:
+            var.flat_lo = np.zeros(var.size, dtype=np.float32)
         for iv in mapping:
             self._alloc_shard(var, iv)
 
-    def _alloc_shard(self, var: Variable, iv: Interval) -> None:
+    def _alloc_shard(self, var: Variable, iv: Interval, row: int | None = None) -> None:
         tile = self.device.tile(iv.tile_id)
-        np_dtype = NUMPY_DTYPES[var.dtype]
-        data = tile.alloc(f"{var.name}@{iv.tile_id}", np.zeros(iv.size, dtype=np_dtype))
-        lo = None
+        if row is None:
+            data = var.flat_data[iv.start : iv.stop]
+            lo = var.flat_lo[iv.start : iv.stop] if var.paired else None
+        else:
+            data = var.flat_data[row]
+            lo = var.flat_lo[row] if var.paired else None
+        tile.alloc(f"{var.name}@{iv.tile_id}", data)
         if var.paired:
-            lo = tile.alloc(f"{var.name}@{iv.tile_id}!lo", np.zeros(iv.size, dtype=np.float32))
+            tile.alloc(f"{var.name}@{iv.tile_id}!lo", lo)
         var.shards[iv.tile_id] = Shard(data, lo, iv)
 
     def free(self, var: Variable) -> None:

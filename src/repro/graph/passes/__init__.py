@@ -11,10 +11,13 @@
   share one sync,
 - :mod:`repro.graph.passes.loops` — loop-invariant normalization hoisting
   (bodies compiled once, trivial loops simplified),
-- :mod:`repro.graph.passes.plans` — the final lowering stage: every leaf
-  step of the optimized schedule is frozen into an execution plan
-  (precomputed worker packing, vectorized exchange index arrays) that the
-  runtime backends replay.
+- :mod:`repro.graph.passes.plans` — every leaf step of the optimized
+  schedule is frozen into an execution plan (precomputed worker packing,
+  vectorized exchange index arrays) that the runtime backends replay,
+- :mod:`repro.graph.passes.kernels` — the last lowering stage: runs of
+  adjacent compute/exchange steps between control-flow boundaries fuse
+  into whole-device :class:`FusedKernel` nodes the ``fused`` backend
+  dispatches (docs/runtime.md).
 """
 
 from repro.graph.passes.base import (
@@ -32,6 +35,7 @@ from repro.graph.passes.base import (
 from repro.graph.passes.coalesce import CoalesceExchanges
 from repro.graph.passes.flatten import FlattenSequences
 from repro.graph.passes.fuse import FuseComputeSets
+from repro.graph.passes.kernels import FusedKernel, KernelSchedule, build_kernels
 from repro.graph.passes.loops import HoistLoopInvariants
 from repro.graph.passes.plans import (
     ComputePlan,
@@ -67,4 +71,7 @@ __all__ = [
     "build_plans",
     "compute_set_category",
     "lpt_makespan",
+    "FusedKernel",
+    "KernelSchedule",
+    "build_kernels",
 ]

@@ -218,6 +218,7 @@ class CompiledProgram:
     source_stats: GraphStats
     report: PassReport
     plans: object = None  # ExecutionPlans of the optimized schedule
+    kernels: object = None  # KernelSchedule (repro.graph.passes.kernels)
 
     def plan_for(self, step: Step):
         """The frozen execution plan of one leaf step of ``root``."""
@@ -263,9 +264,11 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
 
     ``passes=None`` uses :func:`default_passes`; ``optimize=False`` (the
     ablation baseline) freezes the schedule as-is with an empty report.
-    Either way the final lowering stage builds the per-step execution
-    plans every runtime backend executes.
+    Either way the final lowering stages build the per-step execution
+    plans every runtime backend executes, then the fused-kernel schedule
+    (:mod:`repro.graph.passes.kernels`) the ``fused`` backend dispatches.
     """
+    from repro.graph.passes.kernels import build_kernels
     from repro.graph.passes.plans import build_plans
 
     global _COMPILE_INVOCATIONS
@@ -273,6 +276,7 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
     source_stats = collect_stats(root)
     manager = PassManager([] if not optimize else passes)
     optimized, report = manager.run(root)
+    plans = build_plans(optimized, graph.device)
     return CompiledProgram(
         root=optimized,
         graph=graph,
@@ -280,5 +284,6 @@ def compile_program(graph, root: Step, passes=None, optimize: bool = True) -> Co
         source=root,
         source_stats=source_stats,
         report=report,
-        plans=build_plans(optimized, graph.device),
+        plans=plans,
+        kernels=build_kernels(optimized, plans),
     )

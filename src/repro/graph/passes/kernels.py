@@ -1,0 +1,650 @@
+"""Kernel lowering: fuse runs of adjacent steps into whole-device kernels.
+
+This is the second lowering stage of the graph compiler, run after plan
+building (:mod:`repro.graph.passes.plans`).  It walks the optimized
+schedule and groups every maximal run of adjacent ``Execute`` / ``Exchange``
+steps inside a block — flushed only at control-flow boundaries and host
+callbacks — into a :class:`FusedKernel`: one host-side dispatch that
+executes the whole run as vectorized numpy over *flat per-device arrays*
+(the ``Variable.flat_data`` buffers the shard views alias).
+
+The lowering is spec-driven: codelets carry declarative
+``Elementwise/Reduce/SpmvSpec`` metadata (:mod:`repro.graph.codelet`), and
+each spec group in a compute set becomes a single whole-device numpy
+expression — per-tile gather/scatter disappears because the shard views
+already alias one flat buffer, so the "gather" is the identity and only
+genuinely scalar operands are expanded (``np.repeat`` over the segment
+sizes, reproducing per-tile broadcast exactly).  Codelets without a spec —
+Gauss-Seidel sweeps, ILU triangular solves, CodeDSL vertices,
+extended-precision SpMV — fall back to batched per-vertex dispatch *inside*
+the kernel, so fusion never changes what runs, only how it is dispatched.
+
+Every vectorized path reuses the exact numpy/Joldes op sequence of the
+per-tile path (``eval_expr`` with a flat leaf resolver, the same pairwise
+summation shapes, the same ``np.add.reduceat`` segment boundaries), which
+is why ``fused`` results are bit-identical to ``sim`` — enforced by the
+property tests in ``tests/graph/test_kernels.py``.
+
+The schedule is stored on the :class:`CompiledProgram` alongside the
+per-step plans; ``sim`` and ``fast`` never look at it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.codelet import ElementwiseSpec, ReduceSpec, SpmvSpec
+from repro.graph.program import (
+    Execute,
+    Exchange,
+    HostCallback,
+    If,
+    Repeat,
+    RepeatWhile,
+    Sequence,
+    Step,
+)
+
+__all__ = ["FusedKernel", "KernelSchedule", "build_kernels"]
+
+
+class _Unvectorizable(Exception):
+    """Raised by a group lowerer when a vectorization precondition fails;
+    the group falls back to batched per-vertex dispatch."""
+
+
+class FusedKernel:
+    """One whole-device kernel: a fused run of compute/exchange steps.
+
+    ``ops`` is the ordered tuple of zero-argument callables (vectorized
+    group evaluators, exchange-plan replays, batched fallbacks) that one
+    dispatch executes.  ``n_compute`` / ``n_exchange`` count the absorbed
+    steps (the engine keeps its superstep statistics in parity with the
+    interpreted backends), ``n_dispatch`` the per-step dispatch calls the
+    kernel replaces, and ``n_fallback`` the per-vertex runs that could not
+    be vectorized.
+    """
+
+    __slots__ = ("name", "ops", "n_compute", "n_exchange", "n_dispatch", "n_fallback")
+
+    def __init__(self, name: str, ops: tuple, n_compute: int, n_exchange: int,
+                 n_dispatch: int, n_fallback: int):
+        self.name = name
+        self.ops = ops
+        self.n_compute = n_compute
+        self.n_exchange = n_exchange
+        self.n_dispatch = n_dispatch
+        self.n_fallback = n_fallback
+
+    def run(self) -> None:
+        for op in self.ops:
+            op()
+
+    def __repr__(self):
+        return (
+            f"FusedKernel({self.name!r}, compute={self.n_compute}, "
+            f"exchange={self.n_exchange}, dispatch {self.n_dispatch}->1)"
+        )
+
+
+class KernelSchedule:
+    """Per-block kernel item lists of one compiled program.
+
+    A *block* is a step the engine enters as a unit: a ``Sequence``, a loop
+    body, or an ``If`` branch.  ``items_for`` maps a block (by identity,
+    like the plan table) to its lowered item tuple — ``FusedKernel`` objects
+    interleaved with the control-flow / host-callback steps that flushed
+    them.  Steps absorbed into a kernel never appear as items.
+    """
+
+    __slots__ = ("_items", "kernels")
+
+    def __init__(self, items: dict, kernels: tuple):
+        self._items = items
+        self.kernels = kernels
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    def items_for(self, step: Step):
+        """The lowered items of one block, or ``None`` if unknown."""
+        return self._items.get(id(step))
+
+    def kernel_count(self, step: Step, recursive: bool = True) -> int:
+        """Kernels launched by one pass through ``step``'s block (counting
+        each nested block once, regardless of loop trip counts)."""
+        items = self._items.get(id(step))
+        if items is None:
+            return 0
+        count = 0
+        for item in items:
+            if isinstance(item, FusedKernel):
+                count += 1
+            elif recursive:
+                if isinstance(item, Sequence):
+                    count += self.kernel_count(item)
+                elif isinstance(item, (Repeat, RepeatWhile)):
+                    count += self.kernel_count(item.body)
+                elif isinstance(item, If):
+                    count += self.kernel_count(item.then_body)
+                    if item.else_body is not None:
+                        count += self.kernel_count(item.else_body)
+        return count
+
+    def loop_kernel_count(self, root: Step, label: str) -> int:
+        """Kernels per iteration of the loop labeled ``label`` under ``root``
+        (the fig5 acceptance metric: kernels per CG inner-loop iteration)."""
+        loop = _find_loop(root, label)
+        if loop is None:
+            raise KeyError(f"no loop labeled {label!r} in schedule")
+        return self.kernel_count(loop.body)
+
+    def stats(self) -> dict:
+        """Aggregate lowering statistics (surfaced through telemetry)."""
+        return {
+            "kernels": len(self.kernels),
+            "steps_fused": sum(k.n_compute + k.n_exchange for k in self.kernels),
+            "dispatches_replaced": sum(k.n_dispatch for k in self.kernels),
+            "fallback_vertices": sum(k.n_fallback for k in self.kernels),
+        }
+
+
+def _find_loop(step: Step, label: str):
+    if isinstance(step, (Repeat, RepeatWhile)) and step.label == label:
+        return step
+    children = ()
+    if isinstance(step, Sequence):
+        children = step.steps
+    elif isinstance(step, (Repeat, RepeatWhile)):
+        children = (step.body,)
+    elif isinstance(step, If):
+        children = (step.then_body,) + ((step.else_body,) if step.else_body else ())
+    for c in children:
+        found = _find_loop(c, label)
+        if found is not None:
+            return found
+    return None
+
+
+# -- leaf resolution over flat buffers ---------------------------------------------------
+
+
+def _leaf_vars(expr) -> list:
+    seen: dict = {}
+    for leaf in expr.leaves():
+        seen.setdefault(id(leaf.var), leaf.var)
+    return list(seen.values())
+
+
+def _build_1d_fetchers(leaf_vars, tiles, ref_intervals, lo, hi, seg_sizes) -> dict:
+    """Per-variable flat-value fetchers for 1-D (distributed) evaluation.
+
+    A leaf whose shard intervals equal the reference mapping resolves to a
+    zero-copy view ``flat[lo:hi]``; a per-tile scalar leaf resolves to its
+    per-tile values repeated over the segment sizes (exactly the per-tile
+    numpy broadcast, materialized).  Anything else is unvectorizable.
+    """
+    fetchers: dict = {}
+    for var in leaf_vars:
+        if var.flat_data is None:
+            raise _Unvectorizable
+        aligned = (
+            ref_intervals is not None
+            and not var.replicated
+            and var.flat_data.ndim == 1
+            and all(
+                t in var.shards and var.shards[t].interval == ref_intervals[t]
+                for t in tiles
+            )
+        )
+        if aligned:
+            data = var.flat_data[lo:hi]
+            lo_arr = var.flat_lo[lo:hi] if var.paired else None
+
+            def fetch(data=data, lo_arr=lo_arr):
+                return (data, lo_arr) if lo_arr is not None else data
+
+        elif all(t in var.shards and var.shards[t].size == 1 for t in tiles):
+            if var.replicated:
+                rows = np.array([var.replica_rows[t] for t in tiles], dtype=np.intp)
+
+                def fetch(var=var, rows=rows, seg=seg_sizes):
+                    vals = np.repeat(var.flat_data[rows, 0], seg)
+                    if var.paired:
+                        return vals, np.repeat(var.flat_lo[rows, 0], seg)
+                    return vals
+
+            else:
+                if var.flat_data.ndim != 1:
+                    raise _Unvectorizable
+                idx = np.array(
+                    [var.shards[t].interval.start for t in tiles], dtype=np.intp
+                )
+
+                def fetch(var=var, idx=idx, seg=seg_sizes):
+                    vals = np.repeat(var.flat_data[idx], seg)
+                    if var.paired:
+                        return vals, np.repeat(var.flat_lo[idx], seg)
+                    return vals
+
+        else:
+            raise _Unvectorizable
+        fetchers[id(var)] = fetch
+    return fetchers
+
+
+def _make_resolver(fetchers: dict):
+    cache: dict = {}
+
+    def resolve(leaf):
+        key = id(leaf.var)
+        value = cache.get(key)
+        if value is None:
+            value = fetchers[key]()
+            cache[key] = value
+        return value
+
+    return resolve, cache
+
+
+def _contiguous_order(var, tiles) -> tuple:
+    """Group tiles sorted by ``var``'s intervals; requires a gap-free range.
+
+    Returns ``(order, intervals, lo, hi, seg_sizes)``.
+    """
+    order = sorted(tiles, key=lambda t: var.shards[t].interval.start)
+    ivs = [var.shards[t].interval for t in order]
+    lo, hi = ivs[0].start, ivs[-1].stop
+    pos = lo
+    for iv in ivs:
+        if iv.start != pos:
+            raise _Unvectorizable
+        pos = iv.stop
+    seg = np.array([iv.size for iv in ivs], dtype=np.intp)
+    return order, {t: var.shards[t].interval for t in order}, lo, hi, seg
+
+
+# -- group lowerers ----------------------------------------------------------------------
+
+
+def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
+    from repro.tensordsl.materialize import convert_value, eval_expr
+
+    expr, out = spec.expr, spec.out_var
+    tiles = [v.tile_id for v in vertices]
+    if len(set(tiles)) != len(tiles):
+        raise _Unvectorizable
+    leaf_vars = _leaf_vars(expr)
+    expr_dt, out_dt = expr.dtype, out.dtype
+
+    if out.replicated:
+        # Whole-replica-matrix evaluation: every leaf must be replicated on
+        # the same rows, so the stacked (replicas, size) buffers align and
+        # the pointwise ops compute each row exactly as its tile would.
+        if out.flat_data is None or set(tiles) != set(out.replica_rows):
+            raise _Unvectorizable
+        for var in leaf_vars:
+            if not (
+                var.replicated
+                and var.flat_data is not None
+                and var.replica_rows == out.replica_rows
+            ):
+                raise _Unvectorizable
+
+        def resolve(leaf):
+            v = leaf.var
+            return (v.flat_data, v.flat_lo) if v.paired else v.flat_data
+
+        out_hi, out_lo = out.flat_data, out.flat_lo
+
+        def op():
+            value = convert_value(eval_expr(expr, resolve), expr_dt, out_dt)
+            if out_lo is not None:
+                out_hi[...] = np.broadcast_to(value[0], out_hi.shape)
+                out_lo[...] = np.broadcast_to(value[1], out_lo.shape)
+            else:
+                out_hi[...] = np.broadcast_to(value, out_hi.shape)
+
+        return op
+
+    if out.flat_data is None or out.flat_data.ndim != 1:
+        raise _Unvectorizable
+    order, ref, lo, hi, seg = _contiguous_order(out, tiles)
+    fetchers = _build_1d_fetchers(leaf_vars, order, ref, lo, hi, seg)
+    out_hi = out.flat_data[lo:hi]
+    out_lo = out.flat_lo[lo:hi] if out.paired else None
+
+    def op():
+        resolve, _ = _make_resolver(fetchers)
+        value = convert_value(eval_expr(expr, resolve), expr_dt, out_dt)
+        if out_lo is not None:
+            out_hi[...] = np.broadcast_to(value[0], out_hi.shape)
+            out_lo[...] = np.broadcast_to(value[1], out_lo.shape)
+        else:
+            out_hi[...] = np.broadcast_to(value, out_hi.shape)
+
+    return op
+
+
+def _dw_tree_sum_rows(hi2d, lo2d):
+    """Row-wise double-word pairwise summation, same index pairing as the
+    per-tile ``_dw_tree_sum`` (materialize.py) — add_dw_dw is pointwise, so
+    each row's result is bit-identical to its 1-D reduction."""
+    from repro.dw import joldes
+
+    H, L = hi2d, lo2d
+    while H.shape[1] > 1:
+        half = H.shape[1] // 2
+        h2, l2 = joldes.add_dw_dw(
+            H[:, :half], L[:, :half], H[:, half : 2 * half], L[:, half : 2 * half]
+        )
+        if H.shape[1] % 2:
+            h2 = np.concatenate([h2, H[:, -1:]], axis=1)
+            l2 = np.concatenate([l2, L[:, -1:]], axis=1)
+        H, L = h2, l2
+    return H[:, 0], L[:, 0]
+
+
+def _reduce_segments(value, dt: str, op: str, seg, offsets):
+    """Per-segment reduction matching materialize._reduce_value per segment."""
+    from repro.dw import joldes  # noqa: F401  (imported for parity with docs)
+    from repro.tensordsl.materialize import _dw_tree_sum, _reduce_value
+    from repro.tensordsl.types import Type
+
+    T = len(seg)
+    equal = T > 0 and seg[0] > 0 and bool((seg == seg[0]).all())
+    if dt == Type.DOUBLEWORD:
+        hi = np.asarray(value[0], np.float32).ravel()
+        lo = np.asarray(value[1], np.float32).ravel()
+        if equal:
+            n = int(seg[0])
+            H, L = hi.reshape(T, n), lo.reshape(T, n)
+            if op == "sum":
+                return _dw_tree_sum_rows(H, L)
+            wide = H.astype(np.float64) + L.astype(np.float64)
+            k = np.argmax(wide, axis=1) if op == "max" else np.argmin(wide, axis=1)
+            rows = np.arange(T)
+            return H[rows, k], L[rows, k]
+        res_h = np.empty(T, np.float32)
+        res_l = np.empty(T, np.float32)
+        for i in range(T):
+            a, b = offsets[i], offsets[i + 1]
+            if op == "sum":
+                res_h[i], res_l[i] = _dw_tree_sum(hi[a:b], lo[a:b])
+            else:
+                res_h[i], res_l[i] = _reduce_value((hi[a:b], lo[a:b]), dt, op)
+        return res_h, res_l
+    arr = np.asarray(value).ravel()
+    if equal:
+        n = int(seg[0])
+        m = arr.reshape(T, n)
+        if op == "sum":
+            return m.sum(axis=1, dtype=arr.dtype)
+        return m.max(axis=1) if op == "max" else m.min(axis=1)
+    res = np.empty(T, arr.dtype)
+    for i in range(T):
+        a, b = offsets[i], offsets[i + 1]
+        if op == "sum":
+            res[i] = arr[a:b].sum(dtype=arr.dtype)
+        else:
+            res[i] = arr[a:b].max() if op == "max" else arr[a:b].min()
+    return res
+
+
+def _lower_reduce_group(spec: ReduceSpec, vertices):
+    from repro.tensordsl.materialize import eval_expr
+    from repro.tensordsl.types import Type
+
+    expr, out, rop = spec.expr, spec.out_var, spec.op
+    tiles = [v.tile_id for v in vertices]
+    if len(set(tiles)) != len(tiles):
+        raise _Unvectorizable
+    if out.replicated or out.flat_data is None or out.flat_data.ndim != 1:
+        raise _Unvectorizable
+    if out.dtype != expr.dtype:
+        raise _Unvectorizable
+    if not all(t in out.shards and out.shards[t].size == 1 for t in tiles):
+        raise _Unvectorizable
+    leaf_vars = _leaf_vars(expr)
+    # Segment layout comes from the non-scalar leaves (per-tile evaluation
+    # reduces a value of the largest leaf shard size on each tile).
+    big = [
+        v
+        for v in leaf_vars
+        if not v.replicated
+        and v.flat_data is not None
+        and v.flat_data.ndim == 1
+        and any(t in v.shards and v.shards[t].size > 1 for t in tiles)
+    ]
+    if big:
+        ref_var = big[0]
+        if not all(t in ref_var.shards for t in tiles):
+            raise _Unvectorizable
+        order, ref, lo, hi, seg = _contiguous_order(ref_var, tiles)
+    else:
+        order = sorted(tiles, key=lambda t: out.shards[t].interval.start)
+        ref, lo, hi = None, 0, 0
+        seg = np.ones(len(order), dtype=np.intp)
+    offsets = np.concatenate([[0], np.cumsum(seg)])
+    total = int(offsets[-1])
+    fetchers = _build_1d_fetchers(leaf_vars, order, ref, lo, hi, seg)
+    out_idx = np.array([out.shards[t].interval.start for t in order], dtype=np.intp)
+    expr_dt = expr.dtype
+    paired = expr_dt == Type.DOUBLEWORD
+    out_hi, out_lo = out.flat_data, out.flat_lo
+
+    def op():
+        resolve, _ = _make_resolver(fetchers)
+        value = eval_expr(expr, resolve)
+        if paired:
+            vh = np.broadcast_to(np.asarray(value[0]), (total,))
+            vl = np.broadcast_to(np.asarray(value[1]), (total,))
+            res_h, res_l = _reduce_segments((vh, vl), expr_dt, rop, seg, offsets)
+            out_hi[out_idx] = res_h
+            out_lo[out_idx] = res_l
+        else:
+            v = np.broadcast_to(np.asarray(value), (total,))
+            out_hi[out_idx] = _reduce_segments(v, expr_dt, rop, seg, offsets)
+
+    return op
+
+
+def _lower_spmv_group(spec: SpmvSpec, vertices):
+    from repro.sparse.distribute import segment_sums
+
+    m, x, y = spec.matrix, spec.x, spec.y
+    tiles = {v.tile_id for v in vertices}
+    if tiles != set(m.tiles):
+        raise _Unvectorizable
+    xvar, yvar, hvar = x.owned.var, y.owned.var, x.halo.var
+    for var in (xvar, yvar):
+        if var.replicated or var.flat_data is None or var.flat_data.ndim != 1:
+            raise _Unvectorizable
+    n = m.n
+    if xvar.size != n or yvar.size != n:
+        raise _Unvectorizable
+    order = list(m.tiles)
+    pos = 0
+    for t in order:
+        ivx, ivy = xvar.shards[t].interval, yvar.shards[t].interval
+        if ivx.start != pos or ivy.start != pos or ivx.stop != ivy.stop:
+            raise _Unvectorizable
+        pos = ivx.stop
+    if pos != n:
+        raise _Unvectorizable
+    use_halo = (
+        not hvar.replicated
+        and hvar.flat_data is not None
+        and hvar.flat_data.ndim == 1
+        and hvar.size > 0
+    )
+
+    # Lift every tile's local column space into the global index space of
+    # ``[owned | halo]`` — the gather that _spmv_tile performs per call via
+    # np.concatenate is precomputed here, once, at compile time.
+    cols, vals, diags, ptr_parts = [], [], [], [np.zeros(1, dtype=np.int64)]
+    nnz_off = 0
+    for t in order:
+        local = m.local[t]
+        n_loc = local["n"]
+        start = xvar.shards[t].interval.start
+        col = local["col_idx"].astype(np.int64)
+        halo_mask = col >= n_loc
+        gcol = col + start
+        if halo_mask.any():
+            if not use_halo or m.plan.halo_count(t) == 0:
+                raise _Unvectorizable
+            hstart = hvar.shards[t].interval.start
+            gcol = np.where(halo_mask, n + hstart + (col - n_loc), gcol)
+        cols.append(gcol)
+        vals.append(local["values"])
+        diags.append(local["diag"])
+        rp = local["row_ptr"].astype(np.int64)
+        ptr_parts.append(rp[1:] + nnz_off)
+        nnz_off += int(rp[-1])
+    colmap = np.concatenate(cols) if cols else np.zeros(0, np.int64)
+    values_g = np.concatenate(vals) if vals else np.zeros(0, np.float32)
+    diag_g = np.concatenate(diags) if diags else np.zeros(0, np.float32)
+    row_ptr_g = np.concatenate(ptr_parts)
+    xflat, yflat = xvar.flat_data, yvar.flat_data
+    hflat = hvar.flat_data if use_halo else None
+
+    def op():
+        xfull = np.concatenate([xflat, hflat]) if hflat is not None else xflat
+        contrib = values_g * xfull[colmap]
+        sums = segment_sums(contrib, row_ptr_g, n)
+        yflat[...] = diag_g * xflat + sums
+
+    return op
+
+
+# -- compute-set and schedule lowering ---------------------------------------------------
+
+
+def _lower_compute_set(cs) -> tuple:
+    """Lower one compute set into kernel ops.
+
+    Returns ``(ops, n_dispatch, n_fallback)``.  Vertices within a compute
+    set are element-disjoint (tile-local access + the FuseComputeSets
+    disjointness invariant), so group order cannot be observed.
+    """
+    groups: dict = {}
+    fallback: list = []
+    for v in cs.vertices:
+        spec = v.codelet.spec
+        if isinstance(spec, ElementwiseSpec):
+            key = ("ew", id(spec.expr), id(spec.out_var))
+        elif isinstance(spec, ReduceSpec):
+            key = ("red", id(spec.expr), id(spec.out_var), spec.op)
+        elif isinstance(spec, SpmvSpec):
+            key = ("spmv", id(spec.matrix), id(spec.x), id(spec.y))
+        else:
+            fallback.append(v)
+            continue
+        groups.setdefault(key, (spec, []))[1].append(v)
+
+    ops: list = []
+    for key, (spec, vs) in groups.items():
+        try:
+            if key[0] == "ew":
+                ops.append(_lower_elementwise_group(spec, vs))
+            elif key[0] == "red":
+                ops.append(_lower_reduce_group(spec, vs))
+            else:
+                ops.append(_lower_spmv_group(spec, vs))
+        except _Unvectorizable:
+            fallback.extend(vs)
+
+    n_fallback = len(fallback)
+    if fallback:
+        runs = tuple(v.run for v in fallback)
+
+        def batched(runs=runs):
+            for r in runs:
+                r()
+
+        ops.append(batched)
+    return ops, len(cs.vertices), n_fallback
+
+
+def build_kernels(root: Step, plans) -> KernelSchedule:
+    """Lower an optimized schedule + its plans into a :class:`KernelSchedule`."""
+    items_by_block: dict = {}
+    all_kernels: list = []
+    cs_cache: dict = {}
+
+    def lower_execute(step: Execute) -> tuple:
+        key = id(step.compute_set)
+        if key not in cs_cache:
+            cs_cache[key] = _lower_compute_set(step.compute_set)
+        return cs_cache[key]
+
+    def lower_children(children) -> list:
+        items: list = []
+        ops: list = []
+        absorbed: list = []
+        counts = [0, 0]  # dispatches replaced, fallback vertices
+
+        def flush():
+            if absorbed:
+                n_compute = sum(1 for s in absorbed if isinstance(s, Execute))
+                kernel = FusedKernel(
+                    f"k{len(all_kernels)}",
+                    tuple(ops),
+                    n_compute,
+                    len(absorbed) - n_compute,
+                    counts[0],
+                    counts[1],
+                )
+                all_kernels.append(kernel)
+                items.append(kernel)
+            ops.clear()
+            absorbed.clear()
+            counts[0] = counts[1] = 0
+
+        for s in children:
+            if isinstance(s, Execute):
+                cs_ops, n_dispatch, n_fallback = lower_execute(s)
+                ops.extend(cs_ops)
+                absorbed.append(s)
+                counts[0] += n_dispatch
+                counts[1] += n_fallback
+            elif isinstance(s, Exchange):
+                plan_ops = plans.plan_for(s).ops
+
+                def exchange_op(plan_ops=plan_ops):
+                    for copy in plan_ops:
+                        copy.apply()
+
+                ops.append(exchange_op)
+                absorbed.append(s)
+                counts[0] += len(plan_ops)
+            else:
+                flush()
+                if isinstance(s, Sequence):
+                    lower_block(s)
+                elif isinstance(s, (Repeat, RepeatWhile)):
+                    lower_block(s.body)
+                elif isinstance(s, If):
+                    lower_block(s.then_body)
+                    if s.else_body is not None:
+                        lower_block(s.else_body)
+                elif not isinstance(s, HostCallback):
+                    raise TypeError(f"unknown program step: {s!r}")
+                items.append(s)
+        flush()
+        return items
+
+    def lower_block(step: Step) -> None:
+        if id(step) in items_by_block:
+            return
+        if isinstance(step, Sequence):
+            items_by_block[id(step)] = ()  # guard against re-entry on shared bodies
+            items_by_block[id(step)] = tuple(lower_children(step.steps))
+        else:
+            items_by_block[id(step)] = ()
+            items_by_block[id(step)] = tuple(lower_children([step]))
+
+    lower_block(root)
+    return KernelSchedule(items_by_block, tuple(all_kernels))

@@ -5,7 +5,11 @@
 - :mod:`repro.graph.runtime.sim` — cycle-accurate, bit-identical
   simulation (the default),
 - :mod:`repro.graph.runtime.fast` — numerics-only execution for
-  large-matrix runs where cycle counts are not needed.
+  large-matrix runs where cycle counts are not needed,
+- :mod:`repro.graph.runtime.fused` — numerics-only execution through
+  fused whole-device kernels (the fastest host path),
+- :mod:`repro.graph.runtime.counters` — tinygrad-style global
+  kernel/dispatch counters.
 
 See ``docs/runtime.md`` for the protocol, determinism guarantees, and
 guidance on choosing a backend.
@@ -18,7 +22,9 @@ from repro.graph.runtime.base import (
     register_backend,
     resolve_backend,
 )
+from repro.graph.runtime.counters import GlobalCounters
 from repro.graph.runtime.fast import FastBackend
+from repro.graph.runtime.fused import FusedBackend
 from repro.graph.runtime.sim import SimBackend
 
 __all__ = [
@@ -29,4 +35,6 @@ __all__ = [
     "CONTROL_CYCLES",
     "SimBackend",
     "FastBackend",
+    "FusedBackend",
+    "GlobalCounters",
 ]

@@ -57,6 +57,12 @@ class Backend(ABC):
 
     name = "backend"
 
+    #: True for backends that dispatch fused whole-device kernels; the
+    #: engine then routes blocks through the compiled program's
+    #: :class:`~repro.graph.passes.kernels.KernelSchedule` and calls
+    #: :meth:`run_kernel` instead of stepping compute sets one by one.
+    uses_kernels = False
+
     #: Telemetry hook (:mod:`repro.telemetry`).  ``None`` means disabled —
     #: backends guard every emission behind one ``is None`` check, so a run
     #: without a tracer executes exactly the pre-telemetry code path.

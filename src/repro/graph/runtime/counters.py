@@ -1,0 +1,59 @@
+"""Process-wide kernel/dispatch counters for the untimed runtime backends.
+
+Modeled on tinygrad's ``GlobalCounters``: a handful of class-level integers
+that hot paths bump with plain attribute adds — no locks, no objects, zero
+overhead when nobody reads them.  The counters let telemetry (and tests)
+*prove* that kernel lowering happened: a CG iteration that interprets ~20
+steps under ``fast`` shows up as a single fused-kernel launch under
+``fused``.
+
+Semantics:
+
+- ``kernels`` — fused-kernel launches (one per :class:`FusedKernel` run),
+- ``dispatches`` — host-side dispatch calls actually made: one per kernel
+  launch plus one per step executed outside a kernel,
+- ``fused_compute_sets`` / ``fused_exchanges`` — Execute / Exchange steps
+  whose work ran *inside* a kernel (what the launches replaced),
+- ``fallback_vertices`` — per-vertex ``run()`` calls inside kernels for
+  compute sets the lowerer could not vectorize (unspec'd codelets).
+
+Counters accumulate for the process; callers snapshot before/after a run
+and diff (see :meth:`GlobalCounters.snapshot`), which is how
+``SolveResult.kernel_counters`` is produced.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GlobalCounters"]
+
+
+class GlobalCounters:
+    """Global kernel/dispatch tallies (class-level, tinygrad-style)."""
+
+    kernels: int = 0
+    dispatches: int = 0
+    fused_compute_sets: int = 0
+    fused_exchanges: int = 0
+    fallback_vertices: int = 0
+
+    _FIELDS = (
+        "kernels",
+        "dispatches",
+        "fused_compute_sets",
+        "fused_exchanges",
+        "fallback_vertices",
+    )
+
+    @classmethod
+    def reset(cls) -> None:
+        for f in cls._FIELDS:
+            setattr(cls, f, 0)
+
+    @classmethod
+    def snapshot(cls) -> dict:
+        return {f: getattr(cls, f) for f in cls._FIELDS}
+
+    @classmethod
+    def delta(cls, since: dict) -> dict:
+        """Counter movement since a prior :meth:`snapshot`."""
+        return {f: getattr(cls, f) - since.get(f, 0) for f in cls._FIELDS}

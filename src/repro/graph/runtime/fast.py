@@ -15,6 +15,7 @@ zero afterwards.
 
 from __future__ import annotations
 
+from repro.errors import BackendCapabilityError
 from repro.graph.runtime.base import Backend, register_backend
 
 __all__ = ["FastBackend"]
@@ -22,27 +23,36 @@ __all__ = ["FastBackend"]
 
 @register_backend
 class FastBackend(Backend):
-    """Functional backend: bit-identical results, no cycle accounting."""
+    """Functional backend: bit-identical results, no cycle accounting.
+
+    Both observability hooks are rejected with the same typed error — the
+    guard is shared (by inheritance) with every untimed backend, e.g.
+    :class:`~repro.graph.runtime.fused.FusedBackend`.
+    """
 
     name = "fast"
 
     def set_tracer(self, tracer) -> None:
-        """The fast backend has no cycle clock, so a trace would be a flat
+        """An untimed backend has no cycle clock, so a trace would be a flat
         line of zero-timestamp events; reject it instead of recording one."""
         if tracer is not None:
-            raise ValueError(
-                "tracing requires a cycle-accurate backend; run with "
-                "backend='sim' (docs/observability.md)"
+            raise BackendCapabilityError(
+                f"tracing requires a cycle-accurate backend, not {self.name!r}; "
+                "run with backend='sim' (docs/observability.md)",
+                backend=self.name,
+                capability="tracer",
             )
 
     def set_fault_injector(self, injector) -> None:
         """Fault injection is defined on the BSP superstep timeline (stall
         cycles, superstep-indexed OOM); without a cycle model the plan would
-        replay wrongly, so reject it like a tracer."""
+        replay wrongly, so reject it exactly like a tracer."""
         if injector is not None:
-            raise ValueError(
+            raise BackendCapabilityError(
                 "fault injection requires the cycle-accurate sim backend "
-                "(docs/resilience.md)"
+                f"(docs/resilience.md), not {self.name!r}",
+                backend=self.name,
+                capability="fault_injector",
             )
 
     def bind(self, compiled, device) -> None:

@@ -62,7 +62,17 @@ class Shard:
 
 
 class Variable:
-    """A tensor distributed over tile SRAM."""
+    """A tensor distributed over tile SRAM.
+
+    Shards are *views* into one flat per-device buffer (``flat_data`` /
+    ``flat_lo``): a distributed variable's buffer is indexed by global
+    element (shard ``t`` is ``flat_data[start:stop]``), a replicated
+    variable's buffer has one row per replica (``replica_rows`` maps
+    ``tile_id`` to its row).  Tile-local codelets and exchange copies go
+    through the views exactly as before; the fused runtime backend
+    (:mod:`repro.graph.runtime.fused`) operates on the flat buffers
+    directly, which is what hoists gather/scatter out of the hot path.
+    """
 
     def __init__(self, name: str, shape, dtype: str, replicated: bool = False):
         if dtype not in NUMPY_DTYPES:
@@ -72,6 +82,11 @@ class Variable:
         self.dtype = dtype
         self.replicated = replicated
         self.shards: dict[int, Shard] = {}
+        #: Flat per-device storage backing the shard views (see class doc).
+        self.flat_data: np.ndarray | None = None
+        self.flat_lo: np.ndarray | None = None
+        #: Replicated variables: tile_id -> row index into ``flat_data``.
+        self.replica_rows: dict[int, int] = {}
 
     @property
     def size(self) -> int:

@@ -19,7 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import DivergenceError, SolverBreakdownError, SRAMOverflowError
-from repro.graph import CompiledProgram, Engine
+from repro.graph import CompiledProgram, Engine, GlobalCounters
 from repro.machine import IPUDevice
 from repro.solvers.base import SolveStats
 from repro.solvers.config import build_solver
@@ -55,6 +55,10 @@ class SolveResult:
     telemetry: object = None  # Tracer when solve(..., trace=...) was used
     #: ResilienceReport when faults and/or resilience were active, else None.
     resilience: object = None
+    #: :class:`~repro.graph.GlobalCounters` delta for this solve (kernel
+    #: launches, dispatches, fused/fallback breakdown) when the backend
+    #: dispatches fused kernels (``backend="fused"``), else None.
+    kernel_counters: dict | None = None
 
     @property
     def iterations(self) -> int:
@@ -173,7 +177,9 @@ def solve(
     partitioner for stencil matrices.  ``optimize=False`` skips the graph
     compiler's optimization passes (the no-pass ablation baseline).
     ``backend="fast"`` executes numerics only (bit-identical solution,
-    zero reported cycles) — see ``docs/runtime.md``.
+    zero reported cycles); ``backend="fused"`` additionally dispatches the
+    compiled program's fused whole-device kernels and populates
+    ``SolveResult.kernel_counters`` — see ``docs/runtime.md``.
 
     ``trace`` enables telemetry (``docs/observability.md``; requires the
     sim backend): ``True`` collects events into ``SolveResult.telemetry``,
@@ -233,6 +239,9 @@ def solve(
     cur_tiles = num_tiles
     cur_device = device
     aborted: str | None = None
+    # Delta over the whole solve (restarts included) — the counters are
+    # process-global, so concurrent engines would fold into one delta.
+    counters_before = GlobalCounters.snapshot()
 
     while True:
         monitor = None
@@ -484,4 +493,9 @@ def solve(
         backend=engine.backend.name,
         telemetry=tracer,
         resilience=report,
+        kernel_counters=(
+            GlobalCounters.delta(counters_before)
+            if getattr(engine.backend, "uses_kernels", False)
+            else None
+        ),
     )

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph import Exchange, Interval
-from repro.graph.codelet import Codelet, ComputeSet
+from repro.graph.codelet import Codelet, ComputeSet, SpmvSpec
 from repro.graph.program import Execute as ExecuteStep
 from repro.sparse.crs import ModifiedCRS
 from repro.sparse.halo import HaloPlan, build_halo_plan, build_naive_plan
@@ -267,7 +267,16 @@ class DistributedMatrix:
                     for s, e in chunks
                 ] or [model.vertex_overhead]
 
-            cs.add_vertex(Codelet(f"spmv@{t}", run, cycles, category=category), t, {})
+            # Whole-device lowering only vectorizes the f32 working-precision
+            # path; extended-precision SpMVs fall back to batched dispatch.
+            spec = (
+                SpmvSpec(self, x, y)
+                if x.dtype == Type.FLOAT32 and y.dtype == Type.FLOAT32
+                else None
+            )
+            cs.add_vertex(
+                Codelet(f"spmv@{t}", run, cycles, category=category, spec=spec), t, {}
+            )
         self.ctx.append(ExecuteStep(cs))
 
     def _spmv_tile(self, t: int, local: dict, x: DistVector, y: DistVector) -> None:

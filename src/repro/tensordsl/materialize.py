@@ -20,11 +20,12 @@ import numpy as np
 
 from repro.dw import joldes
 from repro.dw.eft import two_prod
-from repro.graph.codelet import Codelet
+from repro.graph.codelet import Codelet, ElementwiseSpec, ReduceSpec
 from repro.tensordsl.expression import BinExpr, ConstExpr, ConvertExpr, Expr, Leaf, UnExpr
 from repro.tensordsl.types import Type, promote
 
 __all__ = [
+    "eval_expr",
     "eval_expr_on_tile",
     "convert_value",
     "elementwise_codelet",
@@ -92,21 +93,25 @@ _DW_BIN = {
 }
 
 
-def eval_expr_on_tile(expr: Expr, tile_id: int):
-    """Evaluate ``expr`` over the shards of ``tile_id``; returns the value in
-    ``expr.dtype`` representation."""
+def eval_expr(expr: Expr, resolve):
+    """Evaluate ``expr`` with leaves supplied by ``resolve(leaf)``.
+
+    ``resolve`` returns the leaf's value in its variable's dtype
+    representation (a numpy array, or a (hi, lo) pair for dw).  This is the
+    single source of truth for op semantics: the per-tile path resolves
+    leaves to shard views, the fused whole-device path resolves them to flat
+    per-device arrays — both run the exact same numpy/Joldes code, which is
+    why the two backends are bit-identical.
+    """
     if isinstance(expr, Leaf):
-        sh = expr.var.shard(tile_id)
-        if expr.var.dtype == Type.DOUBLEWORD:
-            return sh.data, sh.lo
-        return sh.data
+        return resolve(expr)
     if isinstance(expr, ConstExpr):
         return convert_value(np.float64(expr.value), Type.FLOAT64, expr.dtype)
     if isinstance(expr, ConvertExpr):
-        inner = eval_expr_on_tile(expr.operand, tile_id)
+        inner = eval_expr(expr.operand, resolve)
         return convert_value(inner, expr.operand.dtype, expr.target)
     if isinstance(expr, UnExpr):
-        v = eval_expr_on_tile(expr.operand, tile_id)
+        v = eval_expr(expr.operand, resolve)
         dt = expr.operand.dtype
         if dt == Type.DOUBLEWORD:
             hi, lo = v
@@ -128,19 +133,35 @@ def eval_expr_on_tile(expr: Expr, tile_id: int):
     if isinstance(expr, BinExpr):
         if expr.op in _CMP:
             cmp_dt = promote(expr.left.dtype, expr.right.dtype)
-            lv = convert_value(eval_expr_on_tile(expr.left, tile_id), expr.left.dtype, cmp_dt)
-            rv = convert_value(eval_expr_on_tile(expr.right, tile_id), expr.right.dtype, cmp_dt)
+            lv = convert_value(eval_expr(expr.left, resolve), expr.left.dtype, cmp_dt)
+            rv = convert_value(eval_expr(expr.right, resolve), expr.right.dtype, cmp_dt)
             if cmp_dt == Type.DOUBLEWORD:
                 lv, rv = _dw_view64(lv), _dw_view64(rv)
             return _CMP[expr.op](lv, rv).astype(np.float32)
         dt = expr.dtype
-        lv = convert_value(eval_expr_on_tile(expr.left, tile_id), expr.left.dtype, dt)
-        rv = convert_value(eval_expr_on_tile(expr.right, tile_id), expr.right.dtype, dt)
+        lv = convert_value(eval_expr(expr.left, resolve), expr.left.dtype, dt)
+        rv = convert_value(eval_expr(expr.right, resolve), expr.right.dtype, dt)
         if dt == Type.DOUBLEWORD:
             return _DW_BIN[expr.op](lv[0], lv[1], rv[0], rv[1])
         op = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}[expr.op]
         return op(lv, rv)
     raise TypeError(f"unknown expression {expr!r}")
+
+
+def _tile_resolver(tile_id: int):
+    def resolve(leaf: Leaf):
+        sh = leaf.var.shard(tile_id)
+        if leaf.var.dtype == Type.DOUBLEWORD:
+            return sh.data, sh.lo
+        return sh.data
+
+    return resolve
+
+
+def eval_expr_on_tile(expr: Expr, tile_id: int):
+    """Evaluate ``expr`` over the shards of ``tile_id``; returns the value in
+    ``expr.dtype`` representation."""
+    return eval_expr(expr, _tile_resolver(tile_id))
 
 
 # -- codelet factories -------------------------------------------------------------------
@@ -186,7 +207,13 @@ def elementwise_codelet(model, expr: Expr, out_var, tile_id: int, workers: int) 
         n = out_var.shard(tile_id).size
         return _elementwise_worker_cycles(model, expr.dtype, op_counts, n, workers)
 
-    return Codelet(f"ew@{tile_id}", run, cycles, category=category_for(expr.dtype))
+    return Codelet(
+        f"ew@{tile_id}",
+        run,
+        cycles,
+        category=category_for(expr.dtype),
+        spec=ElementwiseSpec(expr, out_var),
+    )
 
 
 REDUCE_OPS = ("sum", "max", "min")
@@ -248,7 +275,13 @@ def partial_reduce_codelet(model, expr: Expr, out_var, tile_id: int, workers: in
         costs[0] += model.reduce(dt, len(per_worker)) - model.vertex_overhead
         return costs
 
-    return Codelet(f"reduce@{tile_id}", run, cycles, category="reduce")
+    return Codelet(
+        f"reduce@{tile_id}",
+        run,
+        cycles,
+        category="reduce",
+        spec=ReduceSpec(expr, out_var, op),
+    )
 
 
 def combine_codelet(model, gathered_var, out_var, tile_id: int, op: str = "sum") -> Codelet:
