@@ -22,6 +22,7 @@ __all__ = [
     "ComputeSet",
     "ElementwiseSpec",
     "ReduceSpec",
+    "BatchReduceSpec",
     "SpmvSpec",
 ]
 
@@ -41,6 +42,17 @@ class ReduceSpec:
     expr: object
     out_var: object
     op: str  # "sum" | "max" | "min"
+
+
+@dataclass(frozen=True)
+class BatchReduceSpec:
+    """``out_var[tile] = reduce(in_var, axis=batch)`` — collapse the trailing
+    multi-RHS axis of a replicated batched scalar into an unbatched scalar
+    (tile-local: every replica reduces its own copy, no exchange)."""
+
+    in_var: object
+    out_var: object
+    op: str  # "max" | "min"
 
 
 @dataclass(frozen=True)

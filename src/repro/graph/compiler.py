@@ -121,7 +121,7 @@ def describe(step: Step, max_depth: int = 8) -> str:
                 f"{len(cs.tiles())} tiles, category={cs.category or 'auto'})"
             )
         elif isinstance(s, Exchange):
-            nbytes = sum(rc.size * rc.src_var.element_bytes() for rc in s.copies)
+            nbytes = sum(rc.size * rc.src_var.unit_bytes() for rc in s.copies)
             lines.append(f"{pad}Exchange({len(s.copies)} region copies, {nbytes} B)")
         elif isinstance(s, Repeat):
             scope = f" label={s.label!r}" if s.label else ""

@@ -86,11 +86,25 @@ class Engine:
     def read_scalar(self, var: Variable) -> float:
         if not var.is_scalar:
             raise ValueError(f"{var.name!r} is not a scalar")
+        if var.batch > 1:
+            raise ValueError(
+                f"{var.name!r} carries {var.batch} RHS values; use read_batch"
+            )
         sh = var.shards[min(var.shards)]
         val = float(sh.data[0])
         if sh.lo is not None:
             val += float(sh.lo[0])
         return val
+
+    def read_batch(self, var: Variable) -> np.ndarray:
+        """Per-RHS values of a (possibly batched) scalar, shape ``(batch,)``."""
+        if not var.is_scalar:
+            raise ValueError(f"{var.name!r} is not a scalar")
+        sh = var.shards[min(var.shards)]
+        row = np.asarray(sh.data[0], dtype=np.float64)
+        if sh.lo is not None:
+            row = row + np.asarray(sh.lo[0], dtype=np.float64)
+        return np.atleast_1d(row)
 
     # -- execution ---------------------------------------------------------------------
 

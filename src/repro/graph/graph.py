@@ -31,36 +31,45 @@ class Graph:
 
     # -- variable creation ------------------------------------------------------------
 
-    def add_variable(self, name: str, shape, dtype: str = "float32", mapping=None) -> Variable:
+    def add_variable(
+        self, name: str, shape, dtype: str = "float32", mapping=None, batch: int = 1
+    ) -> Variable:
         """Create a variable sharded by ``mapping`` (list of Intervals).
 
         Without a mapping, the elements are spread linearly and evenly over
         all tiles (Poplar's ``mapLinearly``); scalars land on tile 0.
+        ``batch > 1`` adds a trailing multi-RHS axis: storage per shard is
+        ``(n_local, batch)`` and the mapping still covers logical elements.
         """
-        var = Variable(name, shape, dtype)
+        var = Variable(name, shape, dtype, batch=batch)
         if mapping is None:
             mapping = self.linear_mapping(var.size)
         self._check_mapping(var, mapping)
         self._allocate(var, mapping)
         return self._register(var)
 
-    def add_replicated(self, name: str, shape, dtype: str = "float32", tile_ids=None) -> Variable:
+    def add_replicated(
+        self, name: str, shape, dtype: str = "float32", tile_ids=None, batch: int = 1
+    ) -> Variable:
         """Create a variable with a full copy on every tile in ``tile_ids``
         (default: all tiles).  Used for solver scalars."""
-        var = Variable(name, shape, dtype, replicated=True)
+        var = Variable(name, shape, dtype, replicated=True, batch=batch)
         tiles = list(tile_ids) if tile_ids is not None else list(range(self.device.num_tiles))
         np_dtype = NUMPY_DTYPES[var.dtype]
-        var.flat_data = np.zeros((len(tiles), var.size), dtype=np_dtype)
+        store = (len(tiles), var.size) if batch == 1 else (len(tiles), var.size, batch)
+        var.flat_data = np.zeros(store, dtype=np_dtype)
         if var.paired:
-            var.flat_lo = np.zeros((len(tiles), var.size), dtype=np.float32)
+            var.flat_lo = np.zeros(store, dtype=np.float32)
         for row, t in enumerate(tiles):
             var.replica_rows[t] = row
             self._alloc_shard(var, Interval(t, 0, var.size), row=row)
         return self._register(var)
 
-    def add_single_tile(self, name: str, shape, dtype: str = "float32", tile_id: int = 0) -> Variable:
+    def add_single_tile(
+        self, name: str, shape, dtype: str = "float32", tile_id: int = 0, batch: int = 1
+    ) -> Variable:
         """Create a variable living entirely on one tile."""
-        var = Variable(name, shape, dtype)
+        var = Variable(name, shape, dtype, batch=batch)
         self._allocate(var, [Interval(tile_id, 0, var.size)])
         return self._register(var)
 
@@ -105,9 +114,10 @@ class Graph:
         # One flat per-device buffer, indexed by global element; every shard
         # is a view (contiguity of the mapping is checked in _check_mapping).
         np_dtype = NUMPY_DTYPES[var.dtype]
-        var.flat_data = np.zeros(var.size, dtype=np_dtype)
+        store = (var.size,) if var.batch == 1 else (var.size, var.batch)
+        var.flat_data = np.zeros(store, dtype=np_dtype)
         if var.paired:
-            var.flat_lo = np.zeros(var.size, dtype=np.float32)
+            var.flat_lo = np.zeros(store, dtype=np.float32)
         for iv in mapping:
             self._alloc_shard(var, iv)
 

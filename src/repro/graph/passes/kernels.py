@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.codelet import ElementwiseSpec, ReduceSpec, SpmvSpec
+from repro.graph.codelet import BatchReduceSpec, ElementwiseSpec, ReduceSpec, SpmvSpec
 from repro.graph.program import (
     Execute,
     Exchange,
@@ -177,13 +177,22 @@ def _leaf_vars(expr) -> list:
     return list(seen.values())
 
 
+def _flat_ndim(var) -> int:
+    """Expected flat-buffer rank of a *distributed* variable: the batch axis
+    adds one trailing dimension (``(n, batch)`` instead of ``(n,)``)."""
+    return 1 if var.batch == 1 else 2
+
+
 def _build_1d_fetchers(leaf_vars, tiles, ref_intervals, lo, hi, seg_sizes) -> dict:
-    """Per-variable flat-value fetchers for 1-D (distributed) evaluation.
+    """Per-variable flat-value fetchers for element-major (distributed)
+    evaluation.
 
     A leaf whose shard intervals equal the reference mapping resolves to a
     zero-copy view ``flat[lo:hi]``; a per-tile scalar leaf resolves to its
     per-tile values repeated over the segment sizes (exactly the per-tile
-    numpy broadcast, materialized).  Anything else is unvectorizable.
+    numpy broadcast, materialized).  Batched leaves work identically — all
+    indexing is along axis 0, the batch columns ride along.  Anything else
+    is unvectorizable.
     """
     fetchers: dict = {}
     for var in leaf_vars:
@@ -192,7 +201,7 @@ def _build_1d_fetchers(leaf_vars, tiles, ref_intervals, lo, hi, seg_sizes) -> di
         aligned = (
             ref_intervals is not None
             and not var.replicated
-            and var.flat_data.ndim == 1
+            and var.flat_data.ndim == _flat_ndim(var)
             and all(
                 t in var.shards and var.shards[t].interval == ref_intervals[t]
                 for t in tiles
@@ -210,22 +219,22 @@ def _build_1d_fetchers(leaf_vars, tiles, ref_intervals, lo, hi, seg_sizes) -> di
                 rows = np.array([var.replica_rows[t] for t in tiles], dtype=np.intp)
 
                 def fetch(var=var, rows=rows, seg=seg_sizes):
-                    vals = np.repeat(var.flat_data[rows, 0], seg)
+                    vals = np.repeat(var.flat_data[rows, 0], seg, axis=0)
                     if var.paired:
-                        return vals, np.repeat(var.flat_lo[rows, 0], seg)
+                        return vals, np.repeat(var.flat_lo[rows, 0], seg, axis=0)
                     return vals
 
             else:
-                if var.flat_data.ndim != 1:
+                if var.flat_data.ndim != _flat_ndim(var):
                     raise _Unvectorizable
                 idx = np.array(
                     [var.shards[t].interval.start for t in tiles], dtype=np.intp
                 )
 
                 def fetch(var=var, idx=idx, seg=seg_sizes):
-                    vals = np.repeat(var.flat_data[idx], seg)
+                    vals = np.repeat(var.flat_data[idx], seg, axis=0)
                     if var.paired:
-                        return vals, np.repeat(var.flat_lo[idx], seg)
+                        return vals, np.repeat(var.flat_lo[idx], seg, axis=0)
                     return vals
 
         else:
@@ -269,7 +278,7 @@ def _contiguous_order(var, tiles) -> tuple:
 
 
 def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
-    from repro.tensordsl.materialize import convert_value, eval_expr
+    from repro.tensordsl.materialize import _expand_batch, convert_value, eval_expr
 
     expr, out = spec.expr, spec.out_var
     tiles = [v.tile_id for v in vertices]
@@ -277,6 +286,7 @@ def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
         raise _Unvectorizable
     leaf_vars = _leaf_vars(expr)
     expr_dt, out_dt = expr.dtype, out.dtype
+    expand = out.batch > 1 and expr.batch == 1
 
     if out.replicated:
         # Whole-replica-matrix evaluation: every leaf must be replicated on
@@ -300,6 +310,8 @@ def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
 
         def op():
             value = convert_value(eval_expr(expr, resolve), expr_dt, out_dt)
+            if expand:
+                value = _expand_batch(value, out_dt)
             if out_lo is not None:
                 out_hi[...] = np.broadcast_to(value[0], out_hi.shape)
                 out_lo[...] = np.broadcast_to(value[1], out_lo.shape)
@@ -308,7 +320,7 @@ def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
 
         return op
 
-    if out.flat_data is None or out.flat_data.ndim != 1:
+    if out.flat_data is None or out.flat_data.ndim != _flat_ndim(out):
         raise _Unvectorizable
     order, ref, lo, hi, seg = _contiguous_order(out, tiles)
     fetchers = _build_1d_fetchers(leaf_vars, order, ref, lo, hi, seg)
@@ -318,6 +330,8 @@ def _lower_elementwise_group(spec: ElementwiseSpec, vertices):
     def op():
         resolve, _ = _make_resolver(fetchers)
         value = convert_value(eval_expr(expr, resolve), expr_dt, out_dt)
+        if expand:
+            value = _expand_batch(value, out_dt)
         if out_lo is not None:
             out_hi[...] = np.broadcast_to(value[0], out_hi.shape)
             out_lo[...] = np.broadcast_to(value[1], out_lo.shape)
@@ -392,17 +406,36 @@ def _reduce_segments(value, dt: str, op: str, seg, offsets):
     return res
 
 
+def _reduce_segments_batched(value, dt: str, op: str, seg, offsets, batch: int):
+    """Batched per-segment reduction: each (segment, RHS-column) pair runs
+    the same per-column `_reduce_value` as the per-tile batched path — a
+    row-slice of the whole-device value is the tile's value, so results are
+    bit-identical to the sim backend per RHS."""
+    from repro.tensordsl.materialize import _reduce_value_batched
+
+    T = len(seg)
+    arr = np.asarray(value)
+    res = np.empty((T, batch), arr.dtype)
+    for i in range(T):
+        a, b = int(offsets[i]), int(offsets[i + 1])
+        res[i] = _reduce_value_batched(arr[a:b], dt, op, b - a, batch)
+    return res
+
+
 def _lower_reduce_group(spec: ReduceSpec, vertices):
     from repro.tensordsl.materialize import eval_expr
     from repro.tensordsl.types import Type
 
     expr, out, rop = spec.expr, spec.out_var, spec.op
+    batch = expr.batch
     tiles = [v.tile_id for v in vertices]
     if len(set(tiles)) != len(tiles):
         raise _Unvectorizable
-    if out.replicated or out.flat_data is None or out.flat_data.ndim != 1:
+    if out.replicated or out.flat_data is None or out.flat_data.ndim != _flat_ndim(out):
         raise _Unvectorizable
-    if out.dtype != expr.dtype:
+    if out.dtype != expr.dtype or out.batch != batch:
+        raise _Unvectorizable
+    if batch > 1 and expr.dtype == "dw":
         raise _Unvectorizable
     if not all(t in out.shards and out.shards[t].size == 1 for t in tiles):
         raise _Unvectorizable
@@ -414,7 +447,7 @@ def _lower_reduce_group(spec: ReduceSpec, vertices):
         for v in leaf_vars
         if not v.replicated
         and v.flat_data is not None
-        and v.flat_data.ndim == 1
+        and v.flat_data.ndim == _flat_ndim(v)
         and any(t in v.shards and v.shards[t].size > 1 for t in tiles)
     ]
     if big:
@@ -443,6 +476,9 @@ def _lower_reduce_group(spec: ReduceSpec, vertices):
             res_h, res_l = _reduce_segments((vh, vl), expr_dt, rop, seg, offsets)
             out_hi[out_idx] = res_h
             out_lo[out_idx] = res_l
+        elif batch > 1:
+            v = np.broadcast_to(np.asarray(value), (total, batch))
+            out_hi[out_idx] = _reduce_segments_batched(v, expr_dt, rop, seg, offsets, batch)
         else:
             v = np.broadcast_to(np.asarray(value), (total,))
             out_hi[out_idx] = _reduce_segments(v, expr_dt, rop, seg, offsets)
@@ -458,8 +494,11 @@ def _lower_spmv_group(spec: SpmvSpec, vertices):
     if tiles != set(m.tiles):
         raise _Unvectorizable
     xvar, yvar, hvar = x.owned.var, y.owned.var, x.halo.var
+    batch = xvar.batch
+    if yvar.batch != batch:
+        raise _Unvectorizable
     for var in (xvar, yvar):
-        if var.replicated or var.flat_data is None or var.flat_data.ndim != 1:
+        if var.replicated or var.flat_data is None or var.flat_data.ndim != _flat_ndim(var):
             raise _Unvectorizable
     n = m.n
     if xvar.size != n or yvar.size != n:
@@ -476,7 +515,8 @@ def _lower_spmv_group(spec: SpmvSpec, vertices):
     use_halo = (
         not hvar.replicated
         and hvar.flat_data is not None
-        and hvar.flat_data.ndim == 1
+        and hvar.flat_data.ndim == _flat_ndim(hvar)
+        and hvar.batch == batch
         and hvar.size > 0
     )
 
@@ -510,11 +550,50 @@ def _lower_spmv_group(spec: SpmvSpec, vertices):
     xflat, yflat = xvar.flat_data, yvar.flat_data
     hflat = hvar.flat_data if use_halo else None
 
+    if batch > 1:
+        # SpMM: the same precomputed global colmap gathers (nnz, batch)
+        # rows; one segmented sum over axis 0 reduces all RHS at once.
+        values_b = values_g[:, None]
+        diag_b = diag_g[:, None]
+
+        def op():
+            xfull = np.concatenate([xflat, hflat]) if hflat is not None else xflat
+            contrib = values_b * xfull[colmap]
+            sums = segment_sums(contrib, row_ptr_g, n)
+            yflat[...] = diag_b * xflat + sums
+
+        return op
+
     def op():
         xfull = np.concatenate([xflat, hflat]) if hflat is not None else xflat
         contrib = values_g * xfull[colmap]
         sums = segment_sums(contrib, row_ptr_g, n)
         yflat[...] = diag_g * xflat + sums
+
+    return op
+
+
+def _lower_batch_reduce_group(spec: BatchReduceSpec, vertices):
+    """Whole-device batch-axis collapse: ``out[:, 0] = in[:, 0, :].max(axis=1)``
+    over the stacked replica buffers.  max/min are order-insensitive, so the
+    row-wise numpy reduction is bit-identical to each tile's own ``arr.max()``."""
+    src, out, rop = spec.in_var, spec.out_var, spec.op
+    tiles = [v.tile_id for v in vertices]
+    if len(set(tiles)) != len(tiles):
+        raise _Unvectorizable
+    if not (src.replicated and out.replicated):
+        raise _Unvectorizable
+    if src.flat_data is None or out.flat_data is None:
+        raise _Unvectorizable
+    if src.replica_rows != out.replica_rows or set(tiles) != set(src.replica_rows):
+        raise _Unvectorizable
+    if src.flat_data.ndim != 3 or out.flat_data.ndim != 2:
+        raise _Unvectorizable
+    src_flat, out_flat = src.flat_data, out.flat_data
+
+    def op():
+        arr = src_flat[:, 0, :]
+        out_flat[:, 0] = arr.max(axis=1) if rop == "max" else arr.min(axis=1)
 
     return op
 
@@ -539,6 +618,8 @@ def _lower_compute_set(cs) -> tuple:
             key = ("red", id(spec.expr), id(spec.out_var), spec.op)
         elif isinstance(spec, SpmvSpec):
             key = ("spmv", id(spec.matrix), id(spec.x), id(spec.y))
+        elif isinstance(spec, BatchReduceSpec):
+            key = ("bred", id(spec.in_var), id(spec.out_var), spec.op)
         else:
             fallback.append(v)
             continue
@@ -551,6 +632,8 @@ def _lower_compute_set(cs) -> tuple:
                 ops.append(_lower_elementwise_group(spec, vs))
             elif key[0] == "red":
                 ops.append(_lower_reduce_group(spec, vs))
+            elif key[0] == "bred":
+                ops.append(_lower_batch_reduce_group(spec, vs))
             else:
                 ops.append(_lower_spmv_group(spec, vs))
         except _Unvectorizable:

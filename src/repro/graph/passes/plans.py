@@ -236,10 +236,12 @@ def _plan_exchange(step: Exchange) -> ExchangePlan:
             else:
                 # On-tile memcpy: 8 bytes per cycle through the st64 path;
                 # copies landing on one tile serialize (summed per tile).
-                cost = (rc.size * rc.src_var.element_bytes() + 7) // 8
+                # unit_bytes folds in the batch axis: a batched element's
+                # RHS columns are contiguous and move together.
+                cost = (rc.size * rc.src_var.unit_bytes() + 7) // 8
                 local_per_tile[dst_tile] += cost
         if remote_dests:
-            nbytes = rc.size * rc.src_var.element_bytes()
+            nbytes = rc.size * rc.src_var.unit_bytes()
             transfers.append(Transfer(rc.src_tile, tuple(remote_dests), nbytes))
 
     vectorized = not _any_write_overlap(reads, writes)

@@ -47,7 +47,13 @@ class Interval:
 
 
 class Shard:
-    """The on-tile storage of one interval (or full copy) of a variable."""
+    """The on-tile storage of one interval (or full copy) of a variable.
+
+    ``size`` is the *logical* element count of the interval — for a batched
+    variable the backing array has shape ``(size, batch)``, so callers that
+    reason about per-element work (vertex splitting, scalar detection) must
+    use ``size``, not ``data.size``.
+    """
 
     __slots__ = ("data", "lo", "interval")
 
@@ -58,7 +64,7 @@ class Shard:
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self.interval.size
 
 
 class Variable:
@@ -72,15 +78,28 @@ class Variable:
     through the views exactly as before; the fused runtime backend
     (:mod:`repro.graph.runtime.fused`) operates on the flat buffers
     directly, which is what hoists gather/scatter out of the hot path.
+
+    A variable may carry a trailing *batch* axis of width ``batch`` (multi-RHS
+    solves): storage becomes ``(n, batch)`` element-major, so every exchange
+    copy — which indexes axis 0 — moves all ``batch`` columns of an element in
+    one instruction, and ``batch == 1`` keeps the exact 1-D layout (and
+    bit-identical artifacts) of the unbatched code.  Host-facing
+    ``gather``/``scatter`` use the conventional batch-*leading* ``(batch, n)``
+    orientation and transpose at the boundary.
     """
 
-    def __init__(self, name: str, shape, dtype: str, replicated: bool = False):
+    def __init__(
+        self, name: str, shape, dtype: str, replicated: bool = False, batch: int = 1
+    ):
         if dtype not in NUMPY_DTYPES:
             raise ValueError(f"unknown dtype {dtype!r}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.name = name
         self.shape = tuple(shape)
         self.dtype = dtype
         self.replicated = replicated
+        self.batch = int(batch)
         self.shards: dict[int, Shard] = {}
         #: Flat per-device storage backing the shard views (see class doc).
         self.flat_data: np.ndarray | None = None
@@ -97,6 +116,10 @@ class Variable:
         return self.size == 1
 
     @property
+    def batched(self) -> bool:
+        return self.batch > 1
+
+    @property
     def paired(self) -> bool:
         return self.dtype in _PAIRED
 
@@ -111,24 +134,52 @@ class Variable:
         base = np.dtype(NUMPY_DTYPES[self.dtype]).itemsize
         return base * 2 if self.paired else base
 
+    def unit_bytes(self) -> int:
+        """Bytes moved per *logical* element — all batch columns ride along."""
+        return self.element_bytes() * self.batch
+
     # -- host-side whole-tensor access ---------------------------------------------
 
     def gather(self) -> np.ndarray:
-        """Assemble the full tensor on the host (float64 view for dw)."""
+        """Assemble the full tensor on the host (float64 view for dw).
+
+        Batched variables return batch-leading ``(batch,) + shape``.
+        """
         if self.replicated:
             first = self.shards[self.tile_ids[0]]
-            return self._join(first).reshape(self.shape)
+            joined = self._join(first)
+            if self.batched:
+                return joined.T.reshape((self.batch,) + self.shape)
+            return joined.reshape(self.shape)
         out_dtype = np.float64 if self.paired else NUMPY_DTYPES[self.dtype]
-        flat = np.empty(self.size, dtype=out_dtype)
+        storage = (self.size, self.batch) if self.batched else (self.size,)
+        flat = np.empty(storage, dtype=out_dtype)
         for sh in self.shards.values():
             flat[sh.interval.start : sh.interval.stop] = self._join(sh)
+        if self.batched:
+            return np.ascontiguousarray(flat.T).reshape((self.batch,) + self.shape)
         return flat.reshape(self.shape)
 
     def scatter(self, values) -> None:
-        """Write a full host tensor into the shards."""
-        flat = np.asarray(values).reshape(-1)
-        if flat.size != self.size:
-            raise ValueError(f"size mismatch: {flat.size} != {self.size}")
+        """Write a full host tensor into the shards.
+
+        Batched variables take batch-leading ``(batch,) + shape`` (or plain
+        ``shape``, broadcast to every batch column).
+        """
+        arr = np.asarray(values)
+        if self.batched:
+            if arr.size == self.size:  # one tensor broadcast across the batch
+                flat = np.broadcast_to(arr.reshape(self.size, 1), (self.size, self.batch))
+            elif arr.size == self.size * self.batch:
+                flat = np.ascontiguousarray(arr.reshape(self.batch, self.size).T)
+            else:
+                raise ValueError(
+                    f"size mismatch: {arr.size} != {self.batch}x{self.size}"
+                )
+        else:
+            flat = arr.reshape(-1)
+            if flat.size != self.size:
+                raise ValueError(f"size mismatch: {flat.size} != {self.size}")
         for sh in self.shards.values():
             chunk = flat if self.replicated else flat[sh.interval.start : sh.interval.stop]
             self._write(sh, chunk)
@@ -149,4 +200,5 @@ class Variable:
 
     def __repr__(self):
         kind = "replicated" if self.replicated else f"{len(self.shards)} shards"
-        return f"Variable({self.name!r}, shape={self.shape}, dtype={self.dtype}, {kind})"
+        batch = f", batch={self.batch}" if self.batched else ""
+        return f"Variable({self.name!r}, shape={self.shape}, dtype={self.dtype}{batch}, {kind})"

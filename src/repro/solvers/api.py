@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import DivergenceError, SolverBreakdownError, SRAMOverflowError
+from repro.errors import DivergenceError, ReproError, SolverBreakdownError, SRAMOverflowError
 from repro.graph import CompiledProgram, Engine, GlobalCounters
 from repro.machine import IPUDevice
 from repro.solvers.base import SolveStats
@@ -46,6 +46,12 @@ class SolveResult:
     cycles: int
     seconds: float  # modeled wall-clock on the IPU
     relative_residual: float  # true ||b - Ax|| / ||b|| computed on the host in f64
+    #: Number of RHS columns solved simultaneously (1 = classic solve).
+    #: Batched solves return ``x`` with shape ``(batch, n)`` plus per-RHS
+    #: ``batch_stats`` / ``relative_residuals``.
+    batch: int = 1
+    batch_stats: list | None = None  # per-RHS SolveStats when batch > 1
+    relative_residuals: list | None = None  # per-RHS true residuals when batch > 1
     energy_j: float = 0.0  # modeled energy at the paper's measured power draw
     profile: dict = field(default_factory=dict)  # profiler category fractions
     engine: object = None
@@ -86,8 +92,10 @@ class SolveResult:
             else f"backend={self.backend!r}"
         )
         failure = f", failure={self.failure!r}" if self.failure is not None else ""
+        n = self.x.shape[-1] if self.x.ndim > 1 else len(self.x)
+        batched = f", batch={self.batch}" if self.batch > 1 else ""
         return (
-            f"SolveResult(n={len(self.x)}, iterations={self.iterations}, "
+            f"SolveResult(n={n}{batched}, iterations={self.iterations}, "
             f"relative_residual={self.relative_residual:.3e}, {timing}{failure})"
         )
 
@@ -104,6 +112,7 @@ def _build_program(
     device: IPUDevice | None = None,
     blockwise_halo: bool = True,
     monitor=None,
+    batch: int = 1,
 ):
     """Construct the full solver schedule; shared by solve/compile_solve."""
     if device is None:
@@ -113,14 +122,31 @@ def _build_program(
         ctx, matrix, num_tiles=num_tiles, grid_dims=grid_dims, blockwise=blockwise_halo
     )
     solver = build_solver(A, config)
+    if batch > 1:
+        unsupported = sorted(
+            {s.name for s in solver.iter_tree() if not s.supports_batch}
+        )
+        if unsupported:
+            raise ReproError(
+                f"batched solves (batch={batch}) are not supported by "
+                f"solver(s) {', '.join(unsupported)}; use a float32 cg/"
+                "bicgstab config with identity or jacobi preconditioning, "
+                "or solve the right-hand sides one at a time"
+            )
+        if getattr(solver, "rhs_dtype", Type.FLOAT32) != Type.FLOAT32:
+            raise ReproError(
+                "batched solves support the float32 working-precision path only"
+            )
     if monitor is not None:
         # Attach before solve_into: detection callbacks are appended to the
         # schedule during symbolic execution.
         solver.enable_resilience(monitor)
 
     rhs_dtype = getattr(solver, "rhs_dtype", Type.FLOAT32)
-    bvec = A.vector(name="b", dtype=rhs_dtype, data=np.asarray(b, dtype=np.float64))
-    xvec = A.vector(name="x")
+    bvec = A.vector(
+        name="b", dtype=rhs_dtype, data=np.asarray(b, dtype=np.float64), batch=batch
+    )
+    xvec = A.vector(name="x", batch=batch)
     if x0 is not None:
         xvec.write_global(np.asarray(x0, dtype=np.float64))
 
@@ -147,7 +173,9 @@ def compile_solve(
     ``compile-report`` view and the ablation benches use this to measure
     compile-time proxies through the real lowering pipeline.
     """
-    ctx, _, _, _, _ = _build_program(matrix, b, config, **kwargs)
+    b_arr = np.asarray(b)
+    batch = b_arr.shape[0] if b_arr.ndim == 2 else 1
+    ctx, _, _, _, _ = _build_program(matrix, b, config, batch=batch, **kwargs)
     return ctx.compile(optimize=optimize)
 
 
@@ -171,6 +199,14 @@ def solve(
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver described by ``config`` on a
     simulated IPU device.
+
+    ``b`` may be a single right-hand side ``(n,)`` or a batch ``(batch, n)``
+    — a batched solve runs all RHS columns through *one* program with one
+    halo exchange per iteration (``docs/solvers.md``), returning ``x`` of
+    shape ``(batch, n)`` plus per-RHS ``batch_stats`` and
+    ``relative_residuals``.  Batching requires a float32 cg/bicgstab config
+    (identity/jacobi preconditioning) and is incompatible with
+    ``inject_faults``/``resilience``.
 
     ``config`` is a dict / JSON string / path / bare solver name (see
     :mod:`repro.solvers.config`).  ``grid_dims`` enables the structured
@@ -224,6 +260,24 @@ def solve(
     plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
     rconfig = ResilienceConfig.parse(resilience)
     b64 = np.asarray(b, dtype=np.float64)
+    if b64.ndim not in (1, 2):
+        raise ReproError(f"b must be 1-D (n,) or batched 2-D (batch, n), got shape {b64.shape}")
+    if b64.shape[-1] != matrix.n:
+        raise ReproError(f"b has {b64.shape[-1]} rows but the matrix has {matrix.n}")
+    batch = b64.shape[0] if b64.ndim == 2 else 1
+    if batch > 1:
+        # The resilience driver's checkpoint/restore and the fault
+        # injector's corruption sites are written against single-RHS
+        # shards; fail loudly instead of corrupting a batched solve.
+        if plan is not None:
+            raise ReproError("fault injection does not support batched solves (batch > 1)")
+        if rconfig is not None:
+            raise ReproError("resilience does not support batched solves (batch > 1)")
+        if x0 is not None and np.asarray(x0).shape != b64.shape:
+            raise ReproError(
+                f"batched x0 must match b's shape {b64.shape}, "
+                f"got {np.asarray(x0).shape}"
+            )
     pcache = resolve_cache(cache)
     if device is not None:
         # A caller-owned device would end up holding cache-owned shards;
@@ -261,6 +315,7 @@ def solve(
                     optimize=optimize,
                     backend=backend,
                     resilient=rconfig is not None,
+                    batch=batch,
                 )
                 entry = pcache.get(key)
             if entry is not None:
@@ -286,6 +341,7 @@ def solve(
                     device=cur_device,
                     blockwise_halo=blockwise_halo,
                     monitor=monitor,
+                    batch=batch,
                 )
                 compiled = ctx.compile(optimize=optimize)
                 if pcache is not None:
@@ -414,13 +470,25 @@ def solve(
         x = solver.x_ext.read_global()
     else:
         x = xvec.read_global()
+    if b64.ndim == 2 and np.asarray(x).ndim == 1:
+        # A (1, n) batch runs the classic single-RHS program, but 2-D in
+        # means 2-D out.
+        x = np.asarray(x).reshape(1, -1)
 
     # Both the residual and its normalization in f64: ``np.linalg.norm(b)``
     # in the caller's dtype (e.g. float32) accumulates in that precision and
     # skews the reported relative residual near tight tolerances.
-    resid = matrix.spmv(x) - b64
-    bn = np.linalg.norm(b64)
-    rel = float(np.linalg.norm(resid) / bn) if bn > 0 else float(np.linalg.norm(resid))
+    def _true_residual(xj, bj):
+        resid = matrix.spmv(xj) - bj
+        bn = np.linalg.norm(bj)
+        return float(np.linalg.norm(resid) / bn) if bn > 0 else float(np.linalg.norm(resid))
+
+    if batch > 1:
+        relative_residuals = [_true_residual(x[j], b64[j]) for j in range(batch)]
+        rel = max(relative_residuals)
+    else:
+        relative_residuals = None
+        rel = _true_residual(np.ravel(x), np.ravel(b64))
 
     failure = aborted if aborted is not None else solver.classify_failure(engine)
     solver.stats.failure = failure
@@ -478,10 +546,16 @@ def solve(
 
     prof = built_device.profiler
     total_cycles = prior_cycles + prof.total_cycles
+    batch_stats = getattr(solver, "batch_stats", None)
+    if batch_stats is not None and pcache is not None:
+        batch_stats = [st.copy() for st in batch_stats]
     return SolveResult(
         x=x,
         # Detach the stats under caching: the next hit resets them in place.
         stats=solver.stats.copy() if pcache is not None else solver.stats,
+        batch=batch,
+        batch_stats=batch_stats,
+        relative_residuals=relative_residuals,
         cycles=total_cycles,
         seconds=built_device.seconds(total_cycles),
         energy_j=built_device.energy_j(total_cycles),

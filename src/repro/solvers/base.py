@@ -99,11 +99,19 @@ class Solver:
 
     name = "base"
 
+    #: Whether :meth:`solve_into` accepts multi-RHS (batched) vectors.
+    #: Batched Krylov solves (docs/solvers.md) require every solver in the
+    #: nested config tree to opt in.
+    supports_batch = False
+
     def __init__(self, A: DistributedMatrix, **params):
         self.A = A
         self.ctx = A.ctx
         self.params = params
         self.stats = SolveStats()
+        #: Per-RHS convergence records for a batched solve (one
+        #: :class:`SolveStats` per RHS column), ``None`` otherwise.
+        self.batch_stats: list | None = None
         self._setup_done = False
         #: ResilienceMonitor when the resilient solve driver is active
         #: (:mod:`repro.solvers.resilience`); ``None`` costs nothing.
@@ -178,9 +186,45 @@ class Solver:
         their rho collapsed.
         """
         tol = getattr(self, "tol", None)
-        if tol is None or not self.stats.residuals:
+        if tol is None:
             return None
-        final = self.stats.final_residual
+        return self._classify_stats(self.stats, tol)
+
+    def _classify_batched(self, engine) -> str | None:
+        """Per-RHS failure classification for a batched solve.
+
+        Fills each ``batch_stats[j].failure`` and returns the first non-None
+        per-column failure as the aggregate verdict (``None`` = every RHS
+        converged).  Krylov solvers expose ``_rho_var``/``_breakdown`` so a
+        stalled column with a collapsed rho classifies as "breakdown", same
+        as the single-RHS path.
+        """
+        tol = getattr(self, "tol", None)
+        if tol is None or not self.batch_stats:
+            return None
+        rho = None
+        rho_var = getattr(self, "_rho_var", None)
+        if rho_var is not None:
+            rho = engine.read_batch(rho_var)
+        breakdown = getattr(self, "_breakdown", 0.0)
+        failures = []
+        for j, st in enumerate(self.batch_stats):
+            f = self._classify_stats(st, tol)
+            if f == "max_iterations" and rho is not None and j < len(rho):
+                rj = float(rho[j])
+                if rj != rj or abs(rj) <= breakdown:
+                    f = "breakdown"
+            st.failure = f
+            failures.append(f)
+        return next((f for f in failures if f is not None), None)
+
+    @staticmethod
+    def _classify_stats(stats: SolveStats, tol: float) -> str | None:
+        """Classification of one residual history against ``tol`` (shared
+        between the aggregate record and each per-RHS record)."""
+        if not stats.residuals:
+            return None
+        final = stats.final_residual
         if math.isnan(final) or math.isinf(final):
             return "nan_residual"
         if final <= tol:
@@ -189,9 +233,11 @@ class Solver:
 
     # -- shared helpers -----------------------------------------------------------------
 
-    def workspace(self, tag: str, dtype: str = "float32") -> DistVector:
+    def workspace(self, tag: str, dtype: str = "float32", batch: int = 1) -> DistVector:
         """Allocate a solver-owned distributed temporary."""
-        return self.A.vector(name=self.ctx.graph.unique_name(f"{self.name}.{tag}"), dtype=dtype)
+        return self.A.vector(
+            name=self.ctx.graph.unique_name(f"{self.name}.{tag}"), dtype=dtype, batch=batch
+        )
 
     def record_residual_callback(self, iter_counter, rnorm2_tensor, bnorm2: float):
         """Host callback factory: log sqrt(rnorm²)/||b|| into ``self.stats``."""

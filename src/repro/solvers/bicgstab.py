@@ -9,7 +9,9 @@ Python cannot overload ``=``, so loop-carried updates use ``.assign``.
 
 from __future__ import annotations
 
-from repro.solvers.base import Solver
+import numpy as np
+
+from repro.solvers.base import Solver, SolveStats
 from repro.solvers.identity import Identity
 
 __all__ = ["PBiCGStab"]
@@ -20,6 +22,8 @@ _BREAKDOWN = 1e-30
 
 class PBiCGStab(Solver):
     name = "bicgstab"
+    supports_batch = True
+    _breakdown = _BREAKDOWN
 
     def __init__(
         self,
@@ -54,6 +58,8 @@ class PBiCGStab(Solver):
         self.preconditioner.setup()
 
     def classify_failure(self, engine):
+        if self.batch_stats is not None:
+            return self._classify_batched(engine)
         failure = super().classify_failure(engine)
         if failure == "max_iterations" and self._rho_var is not None:
             rho = engine.read_scalar(self._rho_var)
@@ -62,6 +68,9 @@ class PBiCGStab(Solver):
         return failure
 
     def solve_into(self, x, b) -> None:
+        if x.batch > 1:
+            self._solve_into_batched(x, b)
+            return
         self.setup()
         ctx = self.ctx
         A = self.A
@@ -160,6 +169,143 @@ class PBiCGStab(Solver):
             # Fixed-burst mode (MPIR inner solves, preconditioner use): run a
             # set number of iterations but still take the early exits due to
             # convergence or singularity (Fig. 4 caption).
+            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
+                       label=f"{self.name}.iterate")
+        else:
+            ctx.While(cont, body, max_iterations=self.max_iterations,
+                      label=f"{self.name}.iterate")
+
+    # -- multi-RHS (docs/solvers.md, "Batched Krylov solves") -----------------------
+
+    def _solve_into_batched(self, x, b) -> None:
+        """Batched PBiCGStab with per-column convergence masking.
+
+        The loop-carried scalars (``rho``/``alpha``/``omega``/``beta``)
+        stay *unmasked* so active columns compute exactly the single-RHS
+        recurrence; masking is applied at the points where a scalar feeds a
+        vector update (``alpha_eff``/``omega_eff``), which freezes the
+        iterates of converged or broken-down columns bit-for-bit:
+        ``s = r - 0·v = r``, ``x += 0·y + 0·z``, ``r = s - 0·t = r``.
+        The direction ``p`` freezes through a mask-combine.  See the CG
+        counterpart for why masking by exactly 0/1 preserves bit-identity.
+        """
+        self.setup()
+        ctx = self.ctx
+        A = self.A
+        M = self.preconditioner
+        batch = x.batch
+        self.batch_stats = [SolveStats() for _ in range(batch)]
+
+        r = self.workspace("r", batch=batch)
+        r0 = self.workspace("r0", batch=batch)
+        p = self.workspace("p", batch=batch)
+        v = self.workspace("v", batch=batch)
+        s = self.workspace("s", batch=batch)
+        t_ = self.workspace("t", batch=batch)
+        y = self.workspace("y", batch=batch)
+        z = self.workspace("z", batch=batch)
+
+        rho = ctx.scalar(1.0, batch=batch)
+        self._rho_var = rho.var
+        rho_old = ctx.scalar(1.0, batch=batch)
+        alpha = ctx.scalar(1.0, batch=batch)
+        omega = ctx.scalar(1.0, batch=batch)
+        beta = ctx.scalar(0.0, batch=batch)
+        alpha_eff = ctx.scalar(0.0, batch=batch)
+        omega_eff = ctx.scalar(0.0, batch=batch)
+        rnorm2 = ctx.scalar(1.0, batch=batch)
+        active = ctx.scalar(1.0, batch=batch)
+        it = ctx.scalar(0.0)
+        cont = ctx.scalar(1.0)
+
+        # --- setup: r = b - A x;  r0 = r;  p = v = 0 (all columns) ------------------
+        A.spmv(x, v)
+        r.owned.assign(b.t - v.t)
+        r0.owned.assign(r.t)
+        p.owned.assign(0.0)
+        v.owned.assign(0.0)
+        for scalar, init in ((rho, 1.0), (rho_old, 1.0), (alpha, 1.0), (omega, 1.0), (it, 0.0)):
+            scalar.assign(init)
+        rnorm2.assign(r.t.dot(r.t))
+        bnorm2 = b.t.dot(b.t)
+        tol2 = (bnorm2 * (self.tol * self.tol)).materialize()
+        active.assign(rnorm2 > tol2)
+        cont.assign(ctx.batch_reduce(active, "max"))
+        bnorm2_host = [np.ones(batch)]
+        ctx.callback(
+            lambda e, _v=bnorm2.var: bnorm2_host.__setitem__(
+                0, np.maximum(e.read_batch(_v), 1e-300)
+            )
+        )
+
+        def _safe(denominator):
+            return denominator + denominator.eq(0.0) * 1e-30
+
+        def body():
+            rho.assign(r0.t.dot(r.t))
+            beta.assign((rho / _safe(rho_old)) * (alpha / _safe(omega)))
+            p.owned.assign(
+                (r.t + beta * (p.t - omega * v.t)) * active + p.t * (1.0 - active)
+            )
+            y.owned.assign(0.0)
+            M.solve_into(y, p)
+            A.spmv(y, v)
+            alpha.assign(rho / _safe(r0.t.dot(v.t)))
+            alpha_eff.assign(active * alpha)
+            s.owned.assign(r.t - alpha_eff * v.t)
+            z.owned.assign(0.0)
+            M.solve_into(z, s)
+            A.spmv(z, t_)
+            omega.assign(t_.t.dot(s.t) / _safe(t_.t.dot(t_.t)))
+            omega_eff.assign(active * omega)
+            x.owned.assign(x.t + alpha_eff * y.t + omega_eff * z.t)
+            r.owned.assign(s.t - omega_eff * t_.t)
+            rho_old.assign(rho)
+            rnorm2.assign(r.t.dot(r.t))
+            it.assign(it + 1.0)
+            if self.record_history:
+                stats = self.stats
+                batch_stats = self.batch_stats
+
+                def record(engine, _r=rnorm2.var, _i=it.var, _a=active.var):
+                    # Reads the at-start `active` flag (updated below), so a
+                    # column's history covers exactly its advancing
+                    # iterations — matching its single-RHS solve.  Uses the
+                    # single-RHS callback's `** 0.5` host expression (libm
+                    # pow can differ from IEEE sqrt by an ulp).
+                    i = int(engine.read_scalar(_i))
+                    r2 = engine.read_batch(_r)
+                    act = engine.read_batch(_a)
+                    rel = [
+                        (max(float(r2[j]), 0.0) / float(bnorm2_host[0][j])) ** 0.5
+                        for j in range(len(batch_stats))
+                    ]
+                    cyc = engine.profiler.total_cycles
+                    stats.record(i, max(rel), cycles=cyc)
+                    for j, st in enumerate(batch_stats):
+                        if act[j] != 0.0:
+                            st.record(i, rel[j], cycles=cyc)
+
+                ctx.callback(record)
+            if self.verbose:
+
+                def progress(engine, _r=rnorm2.var, _i=it.var, _a=active.var):
+                    i = int(engine.read_scalar(_i))
+                    if i % self.verbose == 0:
+                        r2 = np.maximum(engine.read_batch(_r), 0.0)
+                        rel = np.sqrt(r2 / bnorm2_host[0])
+                        n_active = int(np.count_nonzero(engine.read_batch(_a)))
+                        print(
+                            f"[{self.name}] iteration {i}: worst relative "
+                            f"residual {rel.max():.3e} ({n_active}/{batch} "
+                            "RHS still active)"
+                        )
+
+                ctx.callback(progress)
+            active.assign(active * (rnorm2 > tol2) * (abs(rho) > _BREAKDOWN))
+            cont.assign(ctx.batch_reduce(active, "max"))
+
+        if self.fixed_iterations is not None:
             ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
                        label=f"{self.name}.iterate")
         else:

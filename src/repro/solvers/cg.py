@@ -9,7 +9,9 @@ preconditioner to converge.
 
 from __future__ import annotations
 
-from repro.solvers.base import Solver
+import numpy as np
+
+from repro.solvers.base import Solver, SolveStats
 from repro.solvers.identity import Identity
 
 __all__ = ["ConjugateGradient"]
@@ -19,6 +21,8 @@ _BREAKDOWN = 1e-30
 
 class ConjugateGradient(Solver):
     name = "cg"
+    supports_batch = True
+    _breakdown = _BREAKDOWN
 
     def __init__(
         self,
@@ -42,6 +46,8 @@ class ConjugateGradient(Solver):
         self.preconditioner.setup()
 
     def classify_failure(self, engine):
+        if self.batch_stats is not None:
+            return self._classify_batched(engine)
         failure = super().classify_failure(engine)
         if failure == "max_iterations" and self._rho_var is not None:
             rho = engine.read_scalar(self._rho_var)
@@ -50,6 +56,9 @@ class ConjugateGradient(Solver):
         return failure
 
     def solve_into(self, x, b) -> None:
+        if x.batch > 1:
+            self._solve_into_batched(x, b)
+            return
         self.setup()
         ctx = self.ctx
         A = self.A
@@ -116,6 +125,123 @@ class ConjugateGradient(Solver):
                     )
 
                 ctx.callback(record)
+
+        if self.fixed_iterations is not None:
+            ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
+                       label=f"{self.name}.iterate")
+        else:
+            ctx.While(cont, body, max_iterations=self.max_iterations,
+                      label=f"{self.name}.iterate")
+
+    # -- multi-RHS (docs/solvers.md, "Batched Krylov solves") -----------------------
+
+    def _solve_into_batched(self, x, b) -> None:
+        """Batched CG: one program solves all RHS columns simultaneously.
+
+        Every SpMV/exchange/reduction carries the whole batch, so the loop
+        runs exactly the same number of halo exchanges per iteration as a
+        single-RHS solve.  Convergence is tracked per column through the
+        ``active`` flag vector:
+
+        - ``alpha`` is masked (``active * alpha``), so converged or
+          broken-down columns update ``x``/``r`` by exactly ``0`` while
+          active columns see a multiply by exactly ``1.0f`` — both are
+          bitwise-exact, which keeps each column's iterates identical to
+          the single-RHS solve of that column alone;
+        - ``p`` has no pure scalar-masked form (its update adds the
+          unscaled ``z``), so frozen columns keep their old direction via
+          a mask-combine;
+        - the loop continues while *any* column is active
+          (:meth:`~repro.tensordsl.context.TensorContext.batch_reduce`),
+          a tile-local collapse that adds no exchange.
+        """
+        self.setup()
+        ctx = self.ctx
+        A = self.A
+        M = self.preconditioner
+        batch = x.batch
+        self.batch_stats = [SolveStats() for _ in range(batch)]
+
+        r = self.workspace("r", batch=batch)
+        z = self.workspace("z", batch=batch)
+        p = self.workspace("p", batch=batch)
+        ap = self.workspace("ap", batch=batch)
+
+        rho = ctx.scalar(1.0, batch=batch)
+        self._rho_var = rho.var
+        rho_old = ctx.scalar(1.0, batch=batch)
+        alpha = ctx.scalar(0.0, batch=batch)
+        beta = ctx.scalar(0.0, batch=batch)
+        rnorm2 = ctx.scalar(1.0, batch=batch)
+        active = ctx.scalar(1.0, batch=batch)
+        it = ctx.scalar(0.0)
+        cont = ctx.scalar(1.0)
+
+        def _safe(d):
+            return d + d.eq(0.0) * 1e-30
+
+        # r = b - A x;  z = M⁻¹ r;  p = z  — for all columns at once.
+        A.spmv(x, ap)
+        r.owned.assign(b.t - ap.t)
+        z.owned.assign(0.0)
+        M.solve_into(z, r)
+        p.owned.assign(z.t)
+        rho.assign(r.t.dot(z.t))
+        rho_old.assign(rho)
+        it.assign(0.0)
+        rnorm2.assign(r.t.dot(r.t))
+        bnorm2 = b.t.dot(b.t)
+        tol2 = (bnorm2 * (self.tol * self.tol)).materialize()
+        active.assign(rnorm2 > tol2)
+        cont.assign(ctx.batch_reduce(active, "max"))
+        bnorm2_host = [np.ones(batch)]
+        ctx.callback(
+            lambda e, _v=bnorm2.var: bnorm2_host.__setitem__(
+                0, np.maximum(e.read_batch(_v), 1e-300)
+            )
+        )
+
+        def body():
+            A.spmv(p, ap)
+            alpha.assign(active * (rho / _safe(p.t.dot(ap.t))))
+            x.owned.assign(x.t + alpha * p.t)
+            r.owned.assign(r.t - alpha * ap.t)
+            z.owned.assign(0.0)
+            M.solve_into(z, r)
+            rho_old.assign(rho)
+            rho.assign(r.t.dot(z.t))
+            beta.assign(rho / _safe(rho_old))
+            p.owned.assign((z.t + beta * p.t) * active + p.t * (1.0 - active))
+            rnorm2.assign(r.t.dot(r.t))
+            it.assign(it + 1.0)
+            if self.record_history:
+                stats = self.stats
+                batch_stats = self.batch_stats
+
+                def record(engine, _r=rnorm2.var, _i=it.var, _a=active.var):
+                    # Runs before the `active` update below, so `act` is the
+                    # at-start flag: a column records exactly the iterations
+                    # in which it actually advanced — the same history its
+                    # single-RHS solve would have.  The per-column relative
+                    # residual uses the same host expression as the
+                    # single-RHS callback (`** 0.5`, not np.sqrt — libm pow
+                    # can differ from IEEE sqrt by an ulp).
+                    i = int(engine.read_scalar(_i))
+                    r2 = engine.read_batch(_r)
+                    act = engine.read_batch(_a)
+                    rel = [
+                        (max(float(r2[j]), 0.0) / float(bnorm2_host[0][j])) ** 0.5
+                        for j in range(len(batch_stats))
+                    ]
+                    cyc = engine.profiler.total_cycles
+                    stats.record(i, max(rel), cycles=cyc)
+                    for j, st in enumerate(batch_stats):
+                        if act[j] != 0.0:
+                            st.record(i, rel[j], cycles=cyc)
+
+                ctx.callback(record)
+            active.assign(active * (rnorm2 > tol2) * (abs(rho) > _BREAKDOWN))
+            cont.assign(ctx.batch_reduce(active, "max"))
 
         if self.fixed_iterations is not None:
             ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),

@@ -12,6 +12,7 @@ class Identity(Solver):
     BiCGStab; it also serves as a copy primitive in nested configs."""
 
     name = "identity"
+    supports_batch = True  # x := b is batch-transparent
 
     def solve_into(self, x, b) -> None:
         x.owned.assign(b.owned)

@@ -15,6 +15,9 @@ __all__ = ["Jacobi"]
 
 class Jacobi(Solver):
     name = "jacobi"
+    # The sweep is pure elementwise algebra plus one SpMV; the unbatched
+    # D⁻¹ broadcasts across the RHS axis, so batched vectors work as-is.
+    supports_batch = True
 
     def __init__(self, A, sweeps: int = 1, omega: float = 0.8, **params):
         super().__init__(A, sweeps=sweeps, omega=omega, **params)
@@ -30,7 +33,7 @@ class Jacobi(Solver):
 
     def solve_into(self, x, b) -> None:
         self.setup()
-        ax = self.workspace("ax", dtype=x.dtype)
+        ax = self.workspace("ax", dtype=x.dtype, batch=x.batch)
 
         def sweep():
             self.A.spmv(x, ax)

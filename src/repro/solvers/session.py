@@ -90,13 +90,17 @@ def fingerprint_solve(
     optimize: bool = True,
     backend: str = "sim",
     resilient: bool = False,
+    batch: int = 1,
 ) -> str:
     """The cache key: everything the lowered program artifact depends on.
 
     ``b`` and ``x0`` are deliberately absent — they are host-rebindable
     (see the module docstring).  ``resilient`` keys on whether a
     :class:`~repro.solvers.resilience.ResilienceMonitor` was woven into
-    the schedule (its detection callbacks are program steps).
+    the schedule (its detection callbacks are program steps).  ``batch``
+    keys on the RHS batch width: a batched program allocates ``(n, batch)``
+    shards and a masked iteration loop, so each width is its own artifact
+    (``b``'s *values* still rebind freely within a width).
     """
     parts = {
         "matrix": fingerprint_matrix(matrix),
@@ -109,6 +113,7 @@ def fingerprint_solve(
         "optimize": bool(optimize),
         "backend": str(backend),
         "resilient": bool(resilient),
+        "batch": int(batch),
     }
     return hashlib.sha256(json.dumps(parts, sort_keys=True).encode()).hexdigest()
 
@@ -178,6 +183,11 @@ class CompiledSolve:
                     sh.lo[...] = lo
         for s in self.solver.iter_tree():
             s.stats.reset()
+            # Batched programs also carry one SolveStats per RHS column;
+            # the record callbacks close over the list's elements, so
+            # clear them in place too.
+            for st in s.batch_stats or ():
+                st.reset()
         if self.monitor is not None:
             self.monitor.reset(rconfig)
         self.device.profiler.reset()

@@ -35,12 +35,19 @@ __all__ = ["DistVector", "DistributedMatrix", "segment_sums"]
 
 
 def segment_sums(contrib: np.ndarray, row_ptr: np.ndarray, n: int) -> np.ndarray:
-    """Per-row sums of CRS-ordered contributions (empty rows -> 0)."""
+    """Per-row sums of CRS-ordered contributions (empty rows -> 0).
+
+    ``contrib`` may carry a trailing batch axis ``(nnz, B)`` (the SpMM path);
+    segments then reduce along axis 0 — ``np.add.reduceat`` over rows is
+    bit-identical per column to the 1-D per-column reduction, so batched
+    SpMV results match single-RHS SpMVs exactly.
+    """
     if contrib.size == 0:
-        return np.zeros(n, dtype=contrib.dtype)
+        return np.zeros((n,) + contrib.shape[1:], dtype=contrib.dtype)
     starts = row_ptr[:-1]
-    padded = np.concatenate([contrib, np.zeros(1, dtype=contrib.dtype)])
-    sums = np.add.reduceat(padded, np.minimum(starts, contrib.size))
+    pad = np.zeros((1,) + contrib.shape[1:], dtype=contrib.dtype)
+    padded = np.concatenate([contrib, pad])
+    sums = np.add.reduceat(padded, np.minimum(starts, contrib.shape[0]), axis=0)
     empty = row_ptr[1:] == starts
     sums[empty] = 0
     return sums
@@ -69,20 +76,26 @@ class DistVector:
     def dtype(self) -> str:
         return self.owned.dtype
 
+    @property
+    def batch(self) -> int:
+        return self.owned.var.batch
+
     def write_global(self, values) -> None:
-        """Host-write values given in the ORIGINAL row order."""
+        """Host-write values given in the ORIGINAL row order (batched vectors
+        take ``(batch, n)``, or ``(n,)`` broadcast to every RHS)."""
         values = np.asarray(values)
-        self.owned.write(values[self.matrix.perm])
+        self.owned.write(values[..., self.matrix.perm])
 
     def read_global(self) -> np.ndarray:
-        """Host-read values in the ORIGINAL row order."""
+        """Host-read values in the ORIGINAL row order (batched: ``(batch, n)``)."""
         reordered = self.owned.value()
         out = np.empty_like(reordered)
-        out[self.matrix.perm] = reordered
+        out[..., self.matrix.perm] = reordered
         return out
 
     def __repr__(self):
-        return f"DistVector(n={self.matrix.n}, dtype={self.dtype})"
+        batch = f", batch={self.batch}" if self.batch > 1 else ""
+        return f"DistVector(n={self.matrix.n}, dtype={self.dtype}{batch})"
 
 
 class DistributedMatrix:
@@ -185,15 +198,21 @@ class DistributedMatrix:
                 offset += c
         return mapping, offset
 
-    def vector(self, name: str | None = None, dtype: str = Type.FLOAT32, data=None) -> DistVector:
-        """Create a distributed vector compatible with this matrix."""
+    def vector(self, name: str | None = None, dtype: str = Type.FLOAT32, data=None,
+               batch: int = 1) -> DistVector:
+        """Create a distributed vector compatible with this matrix.
+
+        ``batch > 1`` creates a multi-RHS vector: every owned/halo element
+        stores ``batch`` contiguous values, so one halo exchange refreshes
+        all RHS columns at once.
+        """
         name = name or self.ctx.graph.unique_name("v")
-        owned = self.ctx.from_mapping(name, (self.n,), dtype, self._owned_mapping())
+        owned = self.ctx.from_mapping(name, (self.n,), dtype, self._owned_mapping(), batch=batch)
         halo_map, halo_total = self._halo_mapping()
         if halo_total:
-            halo = self.ctx.from_mapping(name + ".halo", (halo_total,), dtype, halo_map)
+            halo = self.ctx.from_mapping(name + ".halo", (halo_total,), dtype, halo_map, batch=batch)
         else:
-            halo = self.ctx.tensor((), dtype=dtype, name=name + ".halo", tile_ids=self.tiles)
+            halo = self.ctx.tensor((), dtype=dtype, name=name + ".halo", tile_ids=self.tiles, batch=batch)
         vec = DistVector(self, owned, halo)
         if data is not None:
             vec.write_global(data)
@@ -244,6 +263,15 @@ class DistributedMatrix:
         (binary64 evaluation, result stored in ``y.dtype``) otherwise.
         """
         self.exchange(x)
+        batch = x.owned.var.batch
+        if batch != y.owned.var.batch:
+            raise ValueError(
+                f"spmv batch mismatch: x batch {batch} vs y batch {y.owned.var.batch}"
+            )
+        if batch > 1 and (x.dtype != Type.FLOAT32 or y.dtype != Type.FLOAT32):
+            raise ValueError(
+                "batched SpMV supports the float32 working-precision path only"
+            )
         cost_dtype = x.dtype if x.dtype != Type.FLOAT32 else y.dtype
         # SpMVs bucket as "spmv" regardless of precision (Table IV's taxonomy:
         # "Extended-Precision Ops" covers the MPIR vector ops, while the
@@ -262,8 +290,13 @@ class DistributedMatrix:
 
             def cycles(ctx, t=t, local=local, chunks=chunks):
                 ptr = local["row_ptr"]
+                # SpMM: every nonzero touches all `batch` RHS columns; the
+                # vertex overhead amortizes across the batch (the PopSparse
+                # effect the multi-RHS path exists for).
                 return [
-                    model.spmv_rows(cost_dtype, int(ptr[e] - ptr[s]), e - s)
+                    model.spmv_rows(
+                        cost_dtype, int(ptr[e] - ptr[s]) * batch, (e - s) * batch
+                    )
                     for s, e in chunks
                 ] or [model.vertex_overhead]
 
@@ -291,6 +324,12 @@ class DistributedMatrix:
                 if halo_sh is not None
                 else xo_sh.data
             )
+            if x.owned.var.batch > 1:
+                # SpMM: (nnz, B) contributions, one segmented sum over rows.
+                contrib = local["values"][:, None] * xfull[local["col_idx"]]
+                sums = segment_sums(contrib, local["row_ptr"], n_loc)
+                yo_sh.data[...] = local["diag"][:, None] * xo_sh.data + sums
+                return
             contrib = local["values"] * xfull[local["col_idx"]]
             sums = segment_sums(contrib, local["row_ptr"], n_loc)
             yo_sh.data[...] = local["diag"] * xo_sh.data + sums

@@ -143,6 +143,17 @@ class HaloPlan:
     def total_halo_cells(self) -> int:
         return sum(self.halo_count(t) for t in self.tiles())
 
+    def exchanged_bytes(self, element_bytes: int = 4, batch: int = 1) -> int:
+        """Fabric payload of one halo exchange: every halo cell is written
+        once per exchange, carrying all ``batch`` RHS columns of the cell.
+
+        The exchange *count* is independent of ``batch`` (the schedule is
+        identical); only the per-exchange payload scales — which is exactly
+        the multi-RHS amortization the batched solvers exploit
+        (``benchmarks/bench_multi_rhs.py`` reports bytes-per-RHS from this).
+        """
+        return self.total_halo_cells() * element_bytes * batch
+
 
 def _requirements(matrix: ModifiedCRS, partition: Partition):
     """For each cell, the set of foreign tiles requiring its value."""

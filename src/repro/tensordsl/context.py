@@ -35,6 +35,7 @@ from repro.graph import (
 from repro.machine import IPUDevice
 from repro.tensordsl.expression import Expr
 from repro.tensordsl.materialize import (
+    batch_reduce_codelet,
     category_for,
     combine_codelet,
     elementwise_codelet,
@@ -71,31 +72,36 @@ class TensorContext:
     # -- tensor creation ---------------------------------------------------------------
 
     def tensor(self, shape, dtype: str = Type.FLOAT32, name: str | None = None,
-               data=None, tile_ids=None) -> Tensor:
-        """Create a materialized tensor distributed linearly over tiles."""
+               data=None, tile_ids=None, batch: int = 1) -> Tensor:
+        """Create a materialized tensor distributed linearly over tiles.
+
+        ``batch > 1`` adds a trailing multi-RHS axis (``docs/solvers.md``);
+        host ``data`` is then batch-leading ``(batch,) + shape``.
+        """
         shape = tuple(shape) if not isinstance(shape, int) else (shape,)
         name = name or self.graph.unique_name("t")
         size = int(np.prod(shape)) if shape else 1
         if size == 1:
-            var = self.graph.add_replicated(name, shape, dtype, tile_ids=tile_ids)
+            var = self.graph.add_replicated(name, shape, dtype, tile_ids=tile_ids, batch=batch)
         else:
             mapping = self.graph.linear_mapping(size, tile_ids=tile_ids)
-            var = self.graph.add_variable(name, shape, dtype, mapping=mapping)
+            var = self.graph.add_variable(name, shape, dtype, mapping=mapping, batch=batch)
         if data is not None:
             var.scatter(data)
         return Tensor(self, var=var)
 
     def scalar(self, value=0.0, dtype: str = Type.FLOAT32, name: str | None = None,
-               tile_ids=None) -> Tensor:
-        """Create a replicated scalar tensor initialized to ``value``."""
-        t = self.tensor((), dtype=dtype, name=name, tile_ids=tile_ids)
+               tile_ids=None, batch: int = 1) -> Tensor:
+        """Create a replicated scalar tensor initialized to ``value``
+        (``batch > 1``: one value per RHS, all initialized alike)."""
+        t = self.tensor((), dtype=dtype, name=name, tile_ids=tile_ids, batch=batch)
         t.write(value)
         return t
 
-    def from_mapping(self, name: str, shape, dtype: str, mapping) -> Tensor:
+    def from_mapping(self, name: str, shape, dtype: str, mapping, batch: int = 1) -> Tensor:
         """Create a tensor with an explicit tile mapping (used by the sparse
         layer, whose halo-reordered layouts are anything but linear)."""
-        var = self.graph.add_variable(name, shape, dtype, mapping=mapping)
+        var = self.graph.add_variable(name, shape, dtype, mapping=mapping, batch=batch)
         return Tensor(self, var=var)
 
     # -- materialization ---------------------------------------------------------------------
@@ -132,10 +138,14 @@ class TensorContext:
         tiles, dist_var = self._participating_tiles(expr)
         name = self.graph.unique_name("m")
         if dist_var is None:
-            out = self.graph.add_replicated(name, expr.shape, expr.dtype, tile_ids=tiles)
+            out = self.graph.add_replicated(
+                name, expr.shape, expr.dtype, tile_ids=tiles, batch=expr.batch
+            )
         else:
             mapping = [dist_var.shard(t).interval for t in dist_var.tile_ids]
-            out = self.graph.add_variable(name, expr.shape, expr.dtype, mapping=mapping)
+            out = self.graph.add_variable(
+                name, expr.shape, expr.dtype, mapping=mapping, batch=expr.batch
+            )
         self._emit_elementwise(expr, out)
         return Tensor(self, var=out)
 
@@ -159,6 +169,11 @@ class TensorContext:
             raise ValueError(
                 f"assignment into {out_var.name!r} has no tile holding every operand"
             )
+        if expr.batch not in (1, out_var.batch):
+            raise ValueError(
+                f"cannot assign batch-{expr.batch} expression into "
+                f"batch-{out_var.batch} variable {out_var.name!r}"
+            )
         for t in out_var.tile_ids:
             if t not in common:
                 continue
@@ -179,6 +194,7 @@ class TensorContext:
             return self.materialize_expr(expr)
         tiles = dist_var.tile_ids
         dtype = expr.dtype
+        batch = expr.batch
         workers = self.device.spec.workers_per_tile
 
         partials = self.graph.add_variable(
@@ -186,6 +202,7 @@ class TensorContext:
             (len(tiles),),
             dtype,
             mapping=[Interval(t, i, i + 1) for i, t in enumerate(tiles)],
+            batch=batch,
         )
         cs = ComputeSet(self.graph.unique_name("cs_reduce"), category="reduce")
         for t in tiles:
@@ -194,7 +211,7 @@ class TensorContext:
 
         root = tiles[0]
         gathered = self.graph.add_single_tile(
-            self.graph.unique_name("gath"), (len(tiles),), dtype, tile_id=root
+            self.graph.unique_name("gath"), (len(tiles),), dtype, tile_id=root, batch=batch
         )
         self.append(
             Exchange(
@@ -206,7 +223,9 @@ class TensorContext:
             )
         )
 
-        result = self.graph.add_replicated(self.graph.unique_name("red"), (), dtype, tile_ids=tiles)
+        result = self.graph.add_replicated(
+            self.graph.unique_name("red"), (), dtype, tile_ids=tiles, batch=batch
+        )
         cs2 = ComputeSet(self.graph.unique_name("cs_combine"), category="reduce")
         cs2.add_vertex(combine_codelet(self.device.model, gathered, result, root, op=op), root, {})
         self.append(ExecuteStep(cs2))
@@ -222,6 +241,32 @@ class TensorContext:
             )
         return Tensor(self, var=result)
 
+    def batch_reduce(self, tensor: Tensor, op: str = "max") -> Tensor:
+        """Collapse the trailing batch axis of a replicated batched scalar
+        into an unbatched scalar (``max``/``min`` over the RHS axis).
+
+        Tile-local — every replica reduces its own copy, so unlike
+        :meth:`reduce_expr` this emits no exchange.  The canonical use is
+        the batched-Krylov loop condition: ``any RHS still active`` is
+        ``batch_reduce(active, "max")``.
+        """
+        t = tensor.materialize()
+        var = t.var
+        if var.batch == 1:
+            return t
+        if not (var.replicated and var.is_scalar):
+            raise ValueError("batch_reduce needs a replicated scalar tensor")
+        out = self.graph.add_replicated(
+            self.graph.unique_name("bred"), (), var.dtype, tile_ids=var.tile_ids
+        )
+        cs = ComputeSet(self.graph.unique_name("cs_batchred"), category="reduce")
+        for tile in var.tile_ids:
+            cs.add_vertex(
+                batch_reduce_codelet(self.device.model, var, out, tile, op=op), tile, {}
+            )
+        self.append(ExecuteStep(cs))
+        return Tensor(self, var=out)
+
     # -- control flow (the control-flow stack of Sec. III-B) ------------------------------------
 
     def _as_cond_var(self, cond) -> object:
@@ -229,6 +274,11 @@ class TensorContext:
             t = cond.materialize()
             if not t.var.is_scalar:
                 raise ValueError("control-flow conditions must be scalar tensors")
+            if t.var.batch > 1:
+                raise ValueError(
+                    "control-flow conditions must be unbatched — collapse the "
+                    "batch axis first (ctx.batch_reduce)"
+                )
             return t.var
         raise TypeError("condition must be a TensorDSL tensor")
 

@@ -44,6 +44,11 @@ class Expr:
     def shape(self) -> tuple:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    @property
+    def batch(self) -> int:
+        """Width of the trailing multi-RHS batch axis (1 = unbatched)."""
+        return 1
+
     def leaves(self):
         """Yield all variable leaves of the tree."""
         raise NotImplementedError
@@ -66,6 +71,10 @@ class Leaf(Expr):
     @property
     def shape(self):
         return self.var.shape
+
+    @property
+    def batch(self):
+        return getattr(self.var, "batch", 1)
 
     def leaves(self):
         yield self
@@ -133,6 +142,13 @@ class BinExpr(Expr):
     def shape(self):
         return _broadcast_shape(self.left.shape, self.right.shape)
 
+    @property
+    def batch(self):
+        lb, rb = self.left.batch, self.right.batch
+        if lb != rb and 1 not in (lb, rb):
+            raise ValueError(f"cannot broadcast batch widths {lb} and {rb}")
+        return max(lb, rb)
+
     def leaves(self):
         yield from self.left.leaves()
         yield from self.right.leaves()
@@ -156,6 +172,10 @@ class UnExpr(Expr):
     def shape(self):
         return self.operand.shape
 
+    @property
+    def batch(self):
+        return self.operand.batch
+
     def leaves(self):
         yield from self.operand.leaves()
 
@@ -177,6 +197,10 @@ class ConvertExpr(Expr):
     @property
     def shape(self):
         return self.operand.shape
+
+    @property
+    def batch(self):
+        return self.operand.batch
 
     def leaves(self):
         yield from self.operand.leaves()

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.dw import joldes
 from repro.dw.eft import two_prod
-from repro.graph.codelet import Codelet, ElementwiseSpec, ReduceSpec
+from repro.graph.codelet import BatchReduceSpec, Codelet, ElementwiseSpec, ReduceSpec
 from repro.tensordsl.expression import BinExpr, ConstExpr, ConvertExpr, Expr, Leaf, UnExpr
 from repro.tensordsl.types import Type, promote
 
@@ -31,6 +31,7 @@ __all__ = [
     "elementwise_codelet",
     "partial_reduce_codelet",
     "combine_codelet",
+    "batch_reduce_codelet",
     "category_for",
     "worker_chunks",
 ]
@@ -93,6 +94,21 @@ _DW_BIN = {
 }
 
 
+def _expand_batch(value, dt: str):
+    """Append a trailing length-1 axis so an unbatched operand broadcasts
+    against a ``(n, batch)`` value (numpy aligns trailing axes, so a bare
+    ``(n,)`` array would otherwise pair ``n`` with ``batch``)."""
+    if dt == Type.DOUBLEWORD:
+        return np.asarray(value[0])[..., None], np.asarray(value[1])[..., None]
+    return np.asarray(value)[..., None]
+
+
+def _align_batch(value, operand: Expr, batch: int, dt: str):
+    if batch > 1 and operand.batch == 1:
+        return _expand_batch(value, dt)
+    return value
+
+
 def eval_expr(expr: Expr, resolve):
     """Evaluate ``expr`` with leaves supplied by ``resolve(leaf)``.
 
@@ -131,16 +147,21 @@ def eval_expr(expr: Expr, resolve):
                 return np.sqrt(v)
         raise ValueError(f"unknown unary op {expr.op!r}")
     if isinstance(expr, BinExpr):
+        batch = expr.batch
         if expr.op in _CMP:
             cmp_dt = promote(expr.left.dtype, expr.right.dtype)
             lv = convert_value(eval_expr(expr.left, resolve), expr.left.dtype, cmp_dt)
             rv = convert_value(eval_expr(expr.right, resolve), expr.right.dtype, cmp_dt)
+            lv = _align_batch(lv, expr.left, batch, cmp_dt)
+            rv = _align_batch(rv, expr.right, batch, cmp_dt)
             if cmp_dt == Type.DOUBLEWORD:
                 lv, rv = _dw_view64(lv), _dw_view64(rv)
             return _CMP[expr.op](lv, rv).astype(np.float32)
         dt = expr.dtype
         lv = convert_value(eval_expr(expr.left, resolve), expr.left.dtype, dt)
         rv = convert_value(eval_expr(expr.right, resolve), expr.right.dtype, dt)
+        lv = _align_batch(lv, expr.left, batch, dt)
+        rv = _align_batch(rv, expr.right, batch, dt)
         if dt == Type.DOUBLEWORD:
             return _DW_BIN[expr.op](lv[0], lv[1], rv[0], rv[1])
         op = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}[expr.op]
@@ -196,6 +217,8 @@ def elementwise_codelet(model, expr: Expr, out_var, tile_id: int, workers: int) 
 
     def run(ctx):
         value = convert_value(eval_expr_on_tile(expr, tile_id), expr.dtype, out_dt)
+        if out_var.batch > 1 and expr.batch == 1:
+            value = _expand_batch(value, out_dt)
         sh = out_var.shard(tile_id)
         if out_dt == Type.DOUBLEWORD:
             sh.data[...] = np.broadcast_to(value[0], sh.data.shape)
@@ -204,7 +227,7 @@ def elementwise_codelet(model, expr: Expr, out_var, tile_id: int, workers: int) 
             sh.data[...] = np.broadcast_to(value, sh.data.shape)
 
     def cycles(ctx):
-        n = out_var.shard(tile_id).size
+        n = out_var.shard(tile_id).size * out_var.batch
         return _elementwise_worker_cycles(model, expr.dtype, op_counts, n, workers)
 
     return Codelet(
@@ -248,6 +271,32 @@ def _reduce_value(value, dt: str, op: str):
     return arr.max() if op == "max" else arr.min()
 
 
+def _reduce_value_batched(value, dt: str, op: str, n: int, batch: int):
+    """Per-RHS reduction of a ``(n, batch)`` tile value → length-``batch`` arrays.
+
+    Each column goes through exactly the same :func:`_reduce_value` code as
+    the single-RHS path — numpy's pairwise summation of a strided column
+    view is bit-identical to the contiguous 1-D sum (the split points are
+    index-based), whereas a single ``sum(axis=0)`` over the 2-D array is
+    not.  This per-column loop is what makes every batched reduction
+    bit-identical per RHS to its single-RHS counterpart.
+    """
+    if dt == Type.DOUBLEWORD:
+        hi = np.broadcast_to(np.asarray(value[0], np.float32), (n, batch))
+        lo = np.broadcast_to(np.asarray(value[1], np.float32), (n, batch))
+        out_hi = np.empty(batch, np.float32)
+        out_lo = np.empty(batch, np.float32)
+        for j in range(batch):
+            out_hi[j], out_lo[j] = _reduce_value((hi[:, j], lo[:, j]), dt, op)
+        return out_hi, out_lo
+    arr = np.asarray(value)
+    full = np.broadcast_to(arr, (n, batch))
+    out = np.empty(batch, arr.dtype)
+    for j in range(batch):
+        out[j] = _reduce_value(full[:, j], dt, op)
+    return out
+
+
 def partial_reduce_codelet(model, expr: Expr, out_var, tile_id: int, workers: int,
                            op: str = "sum") -> Codelet:
     """Per-tile partial reduction of ``expr`` into ``out_var``'s one-element shard."""
@@ -257,7 +306,11 @@ def partial_reduce_codelet(model, expr: Expr, out_var, tile_id: int, workers: in
     def run(ctx):
         value = eval_expr_on_tile(expr, tile_id)
         sh = out_var.shard(tile_id)
-        result = _reduce_value(value, dt, op)
+        if out_var.batch > 1:
+            n = _expr_tile_size(expr, tile_id)
+            result = _reduce_value_batched(value, dt, op, n, out_var.batch)
+        else:
+            result = _reduce_value(value, dt, op)
         if dt == Type.DOUBLEWORD:
             sh.data[0], sh.lo[0] = result
         else:
@@ -265,7 +318,7 @@ def partial_reduce_codelet(model, expr: Expr, out_var, tile_id: int, workers: in
 
     def cycles(ctx):
         # Elementwise evaluation fused with the local reduction tree.
-        n = _expr_tile_size(expr, tile_id)
+        n = _expr_tile_size(expr, tile_id) * out_var.batch
         per_worker = worker_chunks(n, workers)
         costs = [
             model.elementwise_mixed(dt, op_counts, c) + model.reduce(dt, c) - model.vertex_overhead
@@ -292,16 +345,49 @@ def combine_codelet(model, gathered_var, out_var, tile_id: int, op: str = "sum")
         g = gathered_var.shard(tile_id)
         o = out_var.shard(tile_id)
         value = (g.data, g.lo) if dt == Type.DOUBLEWORD else g.data
-        result = _reduce_value(value, dt, op)
+        if gathered_var.batch > 1:
+            result = _reduce_value_batched(
+                value, dt, op, gathered_var.size, gathered_var.batch
+            )
+        else:
+            result = _reduce_value(value, dt, op)
         if dt == Type.DOUBLEWORD:
             o.data[0], o.lo[0] = result
         else:
             o.data[0] = result
 
     def cycles(ctx):
-        return model.reduce(dt, gathered_var.size)
+        return model.reduce(dt, gathered_var.size * gathered_var.batch)
 
     return Codelet(f"combine@{tile_id}", run, cycles, category="reduce")
+
+
+def batch_reduce_codelet(model, in_var, out_var, tile_id: int, op: str = "max") -> Codelet:
+    """Collapse the trailing batch axis of a replicated batched scalar.
+
+    ``out = max_j in[:, j]`` (or min) — tile-local on every replica, so the
+    any-RHS-still-active loop condition costs no exchange.  max/min only:
+    they are order-insensitive, which keeps sim and fused bit-identical.
+    """
+    if op not in ("max", "min"):
+        raise ValueError(f"batch reduction supports max/min, got {op!r}")
+    if in_var.dtype == Type.DOUBLEWORD:
+        raise ValueError("batch reduction over dw scalars is not supported")
+
+    def run(ctx):
+        arr = in_var.shard(tile_id).data[0]
+        out_var.shard(tile_id).data[0] = arr.max() if op == "max" else arr.min()
+
+    def cycles(ctx):
+        return model.reduce(in_var.dtype, in_var.batch)
+
+    return Codelet(
+        f"batchred@{tile_id}",
+        run,
+        cycles,
+        category="reduce",
+        spec=BatchReduceSpec(in_var, out_var, op),
+    )
 
 
 def _expr_tile_size(expr: Expr, tile_id: int) -> int:

@@ -64,6 +64,7 @@ class TestCacheCommands:
         assert "bit-identical runs: yes" in out
 
     def test_batch_random_rhs(self, capsys):
+        # Default path: one batched multi-RHS program, amortized exchanges.
         rc = main([
             "batch", "--matrix", "poisson2d:8",
             "--config", '{"solver": "cg", "tol": 1e-6}',
@@ -73,8 +74,34 @@ class TestCacheCommands:
         out = capsys.readouterr().out
         assert "3 right-hand sides" in out
         assert "rhs   2:" in out
+        assert "3 RHS in one program" in out
+        assert "amortized per RHS" in out
+
+    def test_batch_no_batch_axis_session_loop(self, capsys):
+        # The pre-batching behavior: one solve per rhs through the session.
+        rc = main([
+            "batch", "--matrix", "poisson2d:8",
+            "--config", '{"solver": "cg", "tol": 1e-6}',
+            "--tiles", "4", "--count", "3", "--no-batch-axis",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 right-hand sides" in out
         assert "hits=2 misses=1" in out
         assert "amortized" in out
+
+    def test_batch_modes_agree_bit_identically(self, tmp_path):
+        rhs = tmp_path / "bs.npy"
+        np.save(rhs, np.random.default_rng(3).standard_normal((3, 64)))
+        out_b = tmp_path / "batched.npy"
+        out_l = tmp_path / "looped.npy"
+        assert main(["batch", "--matrix", "poisson2d:8", "--config", "cg",
+                     "--tiles", "4", "--rhs", str(rhs),
+                     "--output", str(out_b)]) == 0
+        assert main(["batch", "--matrix", "poisson2d:8", "--config", "cg",
+                     "--tiles", "4", "--rhs", str(rhs), "--no-batch-axis",
+                     "--output", str(out_l)]) == 0
+        assert np.array_equal(np.load(out_b), np.load(out_l))
 
     def test_batch_rhs_file_and_output(self, tmp_path, capsys):
         rhs = tmp_path / "bs.npy"
