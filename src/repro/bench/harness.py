@@ -196,13 +196,13 @@ def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
         else:
             ctx.Repeat(repeats, lambda: A.spmv(x, y))
         engine = Engine(ctx.compile(), backend=backend)
-        before = GlobalCounters.snapshot()
-        t0 = time.perf_counter()
-        engine.run()
-        seconds[backend] = time.perf_counter() - t0
+        with GlobalCounters.track() as delta:
+            t0 = time.perf_counter()
+            engine.run()
+            seconds[backend] = time.perf_counter() - t0
         outputs[backend] = y.read_global()
         if getattr(engine.backend, "uses_kernels", False):
-            counters[backend] = GlobalCounters.delta(before)
+            counters[backend] = delta
         if backend == "sim":
             sim_cycles = device.profiler.total_cycles
     ref = backends[0]
@@ -229,7 +229,9 @@ def backend_wallclock(crs, grid_dims=None, num_ipus: int = 1,
 
 def solver_backend_wallclock(crs, config, b, grid_dims=None, num_ipus: int = 1,
                              tiles_per_ipu: int = 16,
-                             backends=("sim", "fast", "fused")) -> dict:
+                             backends=("sim", "fast", "fused"),
+                             wall_profiles: bool = False,
+                             profile_top: int = 8) -> dict:
     """Engine-run host wall-clock of one full solve under each backend.
 
     Unlike :func:`backend_wallclock` (a single SpMV program, numpy-bound
@@ -242,31 +244,43 @@ def solver_backend_wallclock(crs, config, b, grid_dims=None, num_ipus: int = 1,
     solutions against the first backend's, iteration counts, and the
     :class:`~repro.graph.GlobalCounters` delta for kernel-dispatch
     backends.
+
+    ``wall_profiles=True`` additionally attaches a
+    :class:`~repro.telemetry.WallTracer` to every backend run and records
+    its hottest-``profile_top`` per-kernel wall profile under
+    ``<backend>_wall_profile`` (measured host ns, GB/s, GFLOP/s) — the
+    per-kernel breakdown behind the aggregate ``<backend>_seconds``.  Wall
+    tracing is observational, so the bit-identity check still holds.
     """
     from repro.graph import Engine, GlobalCounters
     from repro.solvers.api import _build_program
+    from repro.telemetry import WallTracer
 
     seconds: dict = {}
     outputs: dict = {}
     counters: dict = {}
+    profiles: dict = {}
     iters: dict = {}
     sim_cycles = 0
     for backend in backends:
         ctx, solver, xvec, _, device = _build_program(
             crs, b, config, num_ipus=num_ipus, tiles_per_ipu=tiles_per_ipu,
             grid_dims=grid_dims)
-        engine = Engine(ctx.compile(), backend=backend)
-        before = GlobalCounters.snapshot()
-        t0 = time.perf_counter()
-        engine.run()
-        seconds[backend] = time.perf_counter() - t0
+        wtracer = WallTracer() if wall_profiles else None
+        engine = Engine(ctx.compile(), backend=backend, wall_tracer=wtracer)
+        with GlobalCounters.track() as delta:
+            t0 = time.perf_counter()
+            engine.run()
+            seconds[backend] = time.perf_counter() - t0
         if getattr(solver, "x_ext", None) is not None:
             outputs[backend] = solver.x_ext.read_global()
         else:
             outputs[backend] = xvec.read_global()
         iters[backend] = solver.stats.total_iterations
         if getattr(engine.backend, "uses_kernels", False):
-            counters[backend] = GlobalCounters.delta(before)
+            counters[backend] = delta
+        if wtracer is not None:
+            profiles[backend] = wtracer.profile(top=profile_top)
         if backend == "sim":
             sim_cycles = device.profiler.total_cycles
     ref = backends[0]
@@ -288,6 +302,8 @@ def solver_backend_wallclock(crs, config, b, grid_dims=None, num_ipus: int = 1,
         result["fused_over_fast"] = seconds["fast"] / max(seconds["fused"], 1e-12)
     for b, kc in counters.items():
         result[f"{b}_counters"] = kc
+    for b, prof in profiles.items():
+        result[f"{b}_wall_profile"] = prof
     return result
 
 

@@ -18,6 +18,11 @@ Examples::
     python -m repro.cli solve --matrix poisson:32 --config cg --trace t.json
     python -m repro.cli trace-report t.json --check
 
+    # Measured wall-clock profile + metrics on the fused backend
+    python -m repro.cli solve --matrix poisson:32 --config cg --backend fused \\
+        --wall-trace wall.json --metrics metrics.prom --progress 5
+    python -m repro.cli metrics-report metrics.prom
+
     # Inject deterministic faults and recover (docs/resilience.md)
     python -m repro.cli solve --matrix poisson3d:12 --config cg \\
         --inject-faults 'seed=7;bitflip:p=0.005,where=exchange' --resilience
@@ -95,9 +100,19 @@ def _cmd_solve(args) -> int:
         b = np.random.default_rng(args.seed).standard_normal(matrix.n)
 
     if args.trace and args.backend != "sim":
-        raise SystemExit("--trace requires the cycle-accurate sim backend")
+        raise SystemExit("--trace records the modeled cycle timeline and "
+                         "requires the cycle-accurate sim backend; use "
+                         "--wall-trace for measured host timing on any backend")
     if args.inject_faults and args.backend != "sim":
         raise SystemExit("--inject-faults requires the cycle-accurate sim backend")
+
+    on_progress = None
+    if args.progress is not None:
+        def on_progress(p):
+            print(f"  [progress] iteration {p.iteration}: relative residual "
+                  f"{p.relative_residual:.3e} ({p.active_columns} active, "
+                  f"{p.wall_seconds:.2f}s)", file=sys.stderr)
+
     repeat = max(1, args.repeat)
     pcache = ProgramCache() if repeat > 1 else None
     times, result, first = [], None, None
@@ -112,6 +127,10 @@ def _cmd_solve(args) -> int:
             grid_dims=dims,
             backend=args.backend,
             trace=args.trace,
+            wall_trace=args.wall_trace,
+            metrics=args.metrics,
+            on_progress=on_progress,
+            progress_every=args.progress if args.progress is not None else 1,
             inject_faults=args.inject_faults,
             resilience=args.resilience,
             cache=pcache,
@@ -136,6 +155,14 @@ def _cmd_solve(args) -> int:
               f"dispatches ({kc['fused_compute_sets']} compute sets + "
               f"{kc['fused_exchanges']} exchanges fused, "
               f"{kc['fallback_vertices']} fallback vertices)")
+    print(f"host wall-clock:   {result.wall_seconds * 1e3:.1f} ms (measured)")
+    if result.wall_profile is not None and result.wall_profile["kernels"]:
+        prof = result.wall_profile
+        hot = prof["kernels"][0]
+        print(f"wall profile:      {len(prof['kernels'])} kernels/steps, "
+              f"{prof['total_wall_ns'] / 1e6:.3f} ms in spans; hottest "
+              f"{hot['name']} ({hot['launches']} launches, "
+              f"{hot['wall_ns'] / 1e6:.3f} ms)")
     if repeat > 1:
         identical = bool(
             np.array_equal(result.x, first.x) and result.cycles == first.cycles
@@ -159,6 +186,14 @@ def _cmd_solve(args) -> int:
         print(f"trace written to {args.trace} "
               f"({len(result.telemetry)} events; view with Perfetto or "
               f"'repro trace-report')")
+    if args.wall_trace:
+        print(f"wall trace written to {args.wall_trace} "
+              f"({len(result.wall_telemetry)} events, wall_ns clock domain; "
+              f"view with Perfetto or 'repro trace-report')")
+    if args.metrics:
+        print(f"metrics written to {args.metrics} "
+              f"({len(result.metrics)} instruments; view with "
+              f"'repro metrics-report')")
     if args.resilience_report:
         import json
 
@@ -305,6 +340,86 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_metrics_report(args) -> int:
+    """Render a metrics snapshot (Prometheus text or JSON) as kernel tables."""
+    import json
+    import re
+
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(f"no such metrics file: {path}")
+    text = path.read_text()
+
+    samples: dict = {}  # metric name -> {sorted label tuple -> value}
+    if text.lstrip().startswith("{"):
+        for name, rec in json.loads(text).items():
+            if rec.get("kind") == "histogram":
+                continue
+            for s in rec.get("series", []):
+                key = tuple(sorted(s["labels"].items()))
+                samples.setdefault(name, {})[key] = float(s["value"])
+    else:
+        line_pat = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+        label_pat = re.compile(r'(\w+)="([^"]*)"')
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = line_pat.match(line)
+            if m is None:
+                continue
+            name, labels, value = m.groups()
+            key = tuple(sorted(label_pat.findall(labels or "")))
+            samples.setdefault(name, {})[key] = float(value)
+
+    def series(name: str) -> dict:
+        return samples.get(name, {})
+
+    kernels: dict = {}
+    for key, ns in series("repro_kernel_wall_ns_total").items():
+        labels = dict(key)
+        row = kernels.setdefault(
+            labels.get("name", "?"),
+            {"kind": labels.get("kind", "?"), "wall_ns": 0.0, "launches": 0.0,
+             "bytes": 0.0, "flops": 0.0},
+        )
+        row["wall_ns"] += ns
+    for metric, field in (("repro_kernel_launches_total", "launches"),
+                          ("repro_kernel_bytes_total", "bytes"),
+                          ("repro_kernel_flops_total", "flops")):
+        for key, v in series(metric).items():
+            kname = dict(key).get("name", "?")
+            if kname in kernels:
+                kernels[kname][field] += v
+
+    rows = sorted(kernels.items(), key=lambda kv: -kv[1]["wall_ns"])[: args.top]
+    if not rows:
+        print(f"{path}: no repro_kernel_* series found "
+              f"({len(samples)} metric(s) in the snapshot)")
+    else:
+        total_ns = sum(r["wall_ns"] for r in kernels.values())
+        print(f"hottest kernels (top {len(rows)} of {len(kernels)}, measured wall):")
+        print(f"  {'kernel':<20} {'kind':<9} {'launches':>8} {'wall ms':>10} "
+              f"{'share':>6} {'GB/s':>8} {'GFLOP/s':>8}")
+        for kname, r in rows:
+            sec = r["wall_ns"] * 1e-9
+            gbs = r["bytes"] / sec / 1e9 if sec > 0 and r["bytes"] else 0.0
+            gfs = r["flops"] / sec / 1e9 if sec > 0 and r["flops"] else 0.0
+            share = r["wall_ns"] / total_ns if total_ns else 0.0
+            print(f"  {kname:<20} {r['kind']:<9} {int(r['launches']):>8} "
+                  f"{r['wall_ns'] / 1e6:>10.3f} {share:>6.1%} {gbs:>8.2f} {gfs:>8.2f}")
+
+    for gname, label in (
+        ("repro_solve_iterations", "iterations"),
+        ("repro_solve_final_relative_residual", "final relative residual"),
+        ("repro_solve_wall_seconds", "solve wall seconds"),
+    ):
+        ser = series(gname)
+        if ser:
+            print(f"{label + ':':<25}{next(iter(ser.values())):g}")
+    return 0
+
+
 def _cmd_compile_report(args) -> int:
     """Lower a solver program through the pass pipeline and show the report."""
     from repro.solvers import compile_solve
@@ -370,6 +485,18 @@ def main(argv=None) -> int:
     p_solve.add_argument("--trace",
                          help="write a Chrome trace_event JSON (Perfetto-loadable) of "
                               "the run; requires --backend sim (docs/observability.md)")
+    p_solve.add_argument("--wall-trace", metavar="PATH",
+                         help="write a measured wall-clock Chrome trace (wall_ns "
+                              "clock domain, any backend) of per-kernel/per-step "
+                              "host timing (docs/observability.md)")
+    p_solve.add_argument("--metrics", metavar="PATH",
+                         help="write a metrics snapshot: .json for the structured "
+                              "form, anything else Prometheus text; inspect with "
+                              "'repro metrics-report' (docs/observability.md)")
+    p_solve.add_argument("--progress", nargs="?", const=1, default=None,
+                         type=int, metavar="N",
+                         help="print live convergence progress to stderr every N "
+                              "recorded iterations (default 1)")
     p_solve.add_argument("--output", help="write the solution vector to a .npy file")
     p_solve.add_argument("--inject-faults", metavar="SPEC",
                          help="deterministic seeded fault injection; compact grammar "
@@ -434,6 +561,15 @@ def main(argv=None) -> int:
                          help="validate the Chrome trace_event schema first "
                               "(exit nonzero on violations)")
     p_trace.set_defaults(fn=_cmd_trace_report)
+
+    p_metrics = sub.add_parser(
+        "metrics-report",
+        help="summarize a --metrics snapshot (Prometheus text or JSON): "
+             "per-kernel wall time, GB/s, GFLOP/s")
+    p_metrics.add_argument("path", help="metrics snapshot written by solve --metrics")
+    p_metrics.add_argument("--top", type=int, default=10,
+                           help="how many hottest kernels to show")
+    p_metrics.set_defaults(fn=_cmd_metrics_report)
 
     p_rep = sub.add_parser("compile-report",
                            help="show what the graph compiler does to a solver program")

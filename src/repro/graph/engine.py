@@ -45,7 +45,7 @@ class Engine:
     """
 
     def __init__(self, program: CompiledProgram, backend="sim", tracer=None,
-                 injector=None):
+                 injector=None, wall_tracer=None):
         if not isinstance(program, CompiledProgram):
             raise TypeError(
                 "Engine expects a CompiledProgram; lower raw schedules with "
@@ -64,6 +64,9 @@ class Engine:
         self.injector = injector
         if injector is not None:
             self.backend.set_fault_injector(injector)
+        self.wall_tracer = wall_tracer
+        if wall_tracer is not None:
+            self.backend.set_wall_tracer(wall_tracer)
         # Kernel-dispatch backends route whole blocks through the compiled
         # kernel schedule instead of stepping compute sets one at a time.
         self._kernel_schedule = (
@@ -113,6 +116,9 @@ class Engine:
         self._run_step(self.compiled.root)
         if self.tracer is not None:
             self.tracer.finalize()
+        wt = getattr(self.backend, "wall_tracer", None)
+        if wt is not None:
+            wt.finalize()
 
     def _run_kernel_items(self, step: Step) -> bool:
         """Replay a block's fused-kernel item list, if one applies.

@@ -1,0 +1,153 @@
+"""Byte / FLOP cost estimation for kernels and dispatch steps.
+
+The wall-clock profiler (:mod:`repro.telemetry.walltrace`) tags every
+fused-kernel launch and per-step dispatch with an *estimated* traffic and
+arithmetic count, so measured wall time can be read as GB/s and GFLOP/s —
+the per-kernel roofline attribution the Citadel IPU microbenchmarking
+methodology builds on.  The estimates are derived from the same declarative
+metadata the kernel lowerer pattern-matches on:
+
+- ``ElementwiseSpec`` / ``ReduceSpec`` — the expression's per-element
+  arithmetic mix (:meth:`~repro.tensordsl.expression.Expr.op_counts`) times
+  the participating shard elements; traffic counts each distinct leaf
+  variable read once plus the output write (no cache model).
+- ``SpmvSpec`` — the textbook 2·nnz FLOPs (plus the diagonal
+  multiply-add), with traffic from the CRS arrays, gathered ``x`` and
+  written ``y``.
+- ``BatchReduceSpec`` — one op per (tile, RHS column) pair.
+- Exchange steps — bytes written by the plan's vectorized copy ops (halo
+  and reduction traffic, double-word lo halves included).
+
+Estimates are *static*: a step always reports the same numbers regardless
+of how often it runs, and a codelet without a spec contributes zero (the
+profiler still measures its wall time — only the roofline columns read
+blank).  Estimation must never break execution, so every path degrades to
+``(0, 0)`` instead of raising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.codelet import BatchReduceSpec, ElementwiseSpec, ReduceSpec, SpmvSpec
+
+__all__ = ["estimate_spec", "estimate_compute_set", "estimate_exchange"]
+
+
+def _elements(var, tiles) -> int:
+    """Logical elements of ``var`` sharded over the given tiles."""
+    shards = getattr(var, "shards", None)
+    if not shards:
+        return 0
+    return sum(shards[t].size for t in tiles if t in shards)
+
+
+def _leaf_read_bytes(expr, tiles) -> int:
+    """Bytes read: each distinct leaf variable counted once over ``tiles``."""
+    seen: dict = {}
+    for leaf in expr.leaves():
+        seen.setdefault(id(leaf.var), leaf.var)
+    return sum(_elements(var, tiles) * var.unit_bytes() for var in seen.values())
+
+
+def _expr_flops(expr) -> int:
+    return sum(expr.op_counts().values())
+
+
+def _elementwise_costs(spec: ElementwiseSpec, tiles) -> tuple:
+    out = spec.out_var
+    n = _elements(out, tiles)
+    batch = max(out.batch, spec.expr.batch, 1)
+    flops = _expr_flops(spec.expr) * n * batch
+    bytes_ = _leaf_read_bytes(spec.expr, tiles) + n * out.unit_bytes()
+    return bytes_, flops
+
+
+def _reduce_costs(spec: ReduceSpec, tiles) -> tuple:
+    out = spec.out_var
+    batch = max(spec.expr.batch, 1)
+    # The reduced value has the footprint of the largest leaf on each tile.
+    n = max((_elements(v.var, tiles) for v in spec.expr.leaves()), default=0)
+    flops = (_expr_flops(spec.expr) + 1) * n * batch  # eval + one reduce op/elem
+    bytes_ = _leaf_read_bytes(spec.expr, tiles) + len(tiles) * out.unit_bytes()
+    return bytes_, flops
+
+
+def _batch_reduce_costs(spec: BatchReduceSpec, tiles) -> tuple:
+    batch = max(spec.in_var.batch, 1)
+    n = len(tiles)
+    flops = n * batch
+    bytes_ = n * (spec.in_var.unit_bytes() + spec.out_var.unit_bytes())
+    return bytes_, flops
+
+
+def _spmv_costs(spec: SpmvSpec, tiles) -> tuple:
+    m = spec.matrix
+    xvar = spec.x.owned.var
+    yvar = spec.y.owned.var
+    batch = max(xvar.batch, 1)
+    nnz = 0
+    rows = 0
+    for t in tiles:
+        local = m.local[t]
+        nnz += int(local["row_ptr"][-1])
+        rows += int(local["n"])
+    # Off-diagonal multiply-add per stored entry, plus the fused diagonal
+    # multiply-add per row, for every RHS column.
+    flops = batch * 2 * (nnz + rows)
+    bytes_ = nnz * (4 + 8 + xvar.unit_bytes()) + rows * (
+        4 + xvar.unit_bytes() + yvar.unit_bytes()
+    )
+    return bytes_, flops
+
+
+def estimate_spec(spec, vertices) -> tuple:
+    """``(est_bytes, est_flops)`` for one spec group; ``(0, 0)`` on failure."""
+    tiles = [v.tile_id for v in vertices]
+    try:
+        if isinstance(spec, ElementwiseSpec):
+            return _elementwise_costs(spec, tiles)
+        if isinstance(spec, ReduceSpec):
+            return _reduce_costs(spec, tiles)
+        if isinstance(spec, BatchReduceSpec):
+            return _batch_reduce_costs(spec, tiles)
+        if isinstance(spec, SpmvSpec):
+            return _spmv_costs(spec, tiles)
+    except Exception:
+        return 0, 0
+    return 0, 0
+
+
+def estimate_compute_set(cs) -> tuple:
+    """``(est_bytes, est_flops)`` of one compute set (spec'd vertices only)."""
+    groups: dict = {}
+    for v in cs.vertices:
+        spec = v.codelet.spec
+        if spec is None:
+            continue
+        groups.setdefault(id(spec), (spec, []))[1].append(v)
+    total_b = total_f = 0
+    for spec, vs in groups.values():
+        b, f = estimate_spec(spec, vs)
+        total_b += b
+        total_f += f
+    return total_b, total_f
+
+
+def _index_len(index, size: int) -> int:
+    if isinstance(index, slice):
+        return len(range(*index.indices(size)))
+    return len(index)
+
+
+def estimate_exchange(plan) -> int:
+    """Bytes written by one exchange plan's copy ops (local + fabric)."""
+    total = 0
+    try:
+        for op in plan.ops:
+            n = _index_len(op.dst_index, op.dst.shape[0])
+            row = int(np.prod(op.dst.shape[1:], dtype=np.int64)) * op.dst.dtype.itemsize
+            total += n * row * (2 if op.dst_lo is not None else 1)
+    except Exception:
+        return total
+    return total

@@ -62,19 +62,26 @@ class FusedKernel:
     steps (the engine keeps its superstep statistics in parity with the
     interpreted backends), ``n_dispatch`` the per-step dispatch calls the
     kernel replaces, and ``n_fallback`` the per-vertex runs that could not
-    be vectorized.
+    be vectorized.  ``est_bytes`` / ``est_flops`` carry the static traffic
+    and arithmetic estimate (:mod:`repro.graph.passes.costs`) one launch
+    represents — the wall-clock profiler divides measured time by these to
+    report per-kernel GB/s and GFLOP/s.
     """
 
-    __slots__ = ("name", "ops", "n_compute", "n_exchange", "n_dispatch", "n_fallback")
+    __slots__ = ("name", "ops", "n_compute", "n_exchange", "n_dispatch", "n_fallback",
+                 "est_bytes", "est_flops")
 
     def __init__(self, name: str, ops: tuple, n_compute: int, n_exchange: int,
-                 n_dispatch: int, n_fallback: int):
+                 n_dispatch: int, n_fallback: int, est_bytes: int = 0,
+                 est_flops: int = 0):
         self.name = name
         self.ops = ops
         self.n_compute = n_compute
         self.n_exchange = n_exchange
         self.n_dispatch = n_dispatch
         self.n_fallback = n_fallback
+        self.est_bytes = est_bytes
+        self.est_flops = est_flops
 
     def run(self) -> None:
         for op in self.ops:
@@ -147,6 +154,8 @@ class KernelSchedule:
             "steps_fused": sum(k.n_compute + k.n_exchange for k in self.kernels),
             "dispatches_replaced": sum(k.n_dispatch for k in self.kernels),
             "fallback_vertices": sum(k.n_fallback for k in self.kernels),
+            "est_bytes": sum(k.est_bytes for k in self.kernels),
+            "est_flops": sum(k.est_flops for k in self.kernels),
         }
 
 
@@ -604,9 +613,10 @@ def _lower_batch_reduce_group(spec: BatchReduceSpec, vertices):
 def _lower_compute_set(cs) -> tuple:
     """Lower one compute set into kernel ops.
 
-    Returns ``(ops, n_dispatch, n_fallback)``.  Vertices within a compute
-    set are element-disjoint (tile-local access + the FuseComputeSets
-    disjointness invariant), so group order cannot be observed.
+    Returns ``(ops, n_dispatch, n_fallback, est_bytes, est_flops)``.
+    Vertices within a compute set are element-disjoint (tile-local access +
+    the FuseComputeSets disjointness invariant), so group order cannot be
+    observed.
     """
     groups: dict = {}
     fallback: list = []
@@ -648,7 +658,10 @@ def _lower_compute_set(cs) -> tuple:
                 r()
 
         ops.append(batched)
-    return ops, len(cs.vertices), n_fallback
+    from repro.graph.passes.costs import estimate_compute_set
+
+    est_bytes, est_flops = estimate_compute_set(cs)
+    return ops, len(cs.vertices), n_fallback, est_bytes, est_flops
 
 
 def build_kernels(root: Step, plans) -> KernelSchedule:
@@ -664,10 +677,12 @@ def build_kernels(root: Step, plans) -> KernelSchedule:
         return cs_cache[key]
 
     def lower_children(children) -> list:
+        from repro.graph.passes.costs import estimate_exchange
+
         items: list = []
         ops: list = []
         absorbed: list = []
-        counts = [0, 0]  # dispatches replaced, fallback vertices
+        counts = [0, 0, 0, 0]  # dispatches replaced, fallbacks, est bytes, est flops
 
         def flush():
             if absorbed:
@@ -679,22 +694,27 @@ def build_kernels(root: Step, plans) -> KernelSchedule:
                     len(absorbed) - n_compute,
                     counts[0],
                     counts[1],
+                    est_bytes=counts[2],
+                    est_flops=counts[3],
                 )
                 all_kernels.append(kernel)
                 items.append(kernel)
             ops.clear()
             absorbed.clear()
-            counts[0] = counts[1] = 0
+            counts[0] = counts[1] = counts[2] = counts[3] = 0
 
         for s in children:
             if isinstance(s, Execute):
-                cs_ops, n_dispatch, n_fallback = lower_execute(s)
+                cs_ops, n_dispatch, n_fallback, est_b, est_f = lower_execute(s)
                 ops.extend(cs_ops)
                 absorbed.append(s)
                 counts[0] += n_dispatch
                 counts[1] += n_fallback
+                counts[2] += est_b
+                counts[3] += est_f
             elif isinstance(s, Exchange):
-                plan_ops = plans.plan_for(s).ops
+                plan = plans.plan_for(s)
+                plan_ops = plan.ops
 
                 def exchange_op(plan_ops=plan_ops):
                     for copy in plan_ops:
@@ -703,6 +723,7 @@ def build_kernels(root: Step, plans) -> KernelSchedule:
                 ops.append(exchange_op)
                 absorbed.append(s)
                 counts[0] += len(plan_ops)
+                counts[2] += estimate_exchange(plan)
             else:
                 flush()
                 if isinstance(s, Sequence):

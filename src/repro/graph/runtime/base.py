@@ -73,10 +73,18 @@ class Backend(ABC):
     #: executes the exact fault-free code path.
     injector = None
 
+    #: Wall-clock profiling hook (:class:`~repro.telemetry.WallTracer`).
+    #: Unlike the cycle-domain tracer, *every* backend accepts one — the
+    #: host clock exists everywhere — and the same ``is None`` contract
+    #: keeps an unprofiled run on the exact pre-telemetry code path.
+    wall_tracer = None
+
     def bind(self, compiled, device) -> None:
         self.compiled = compiled
         self.plans = compiled.plans
         self.device = device
+        # Per-step (name, est_bytes, est_flops) cache for wall-span tagging.
+        self._wall_costs: dict = {}
 
     def set_tracer(self, tracer) -> None:
         """Attach a :class:`~repro.telemetry.Tracer` (after :meth:`bind`).
@@ -100,8 +108,35 @@ class Backend(ABC):
         if injector is not None:
             injector.bind(self.device, tracer=self.tracer)
 
+    def set_wall_tracer(self, wall_tracer) -> None:
+        """Attach a :class:`~repro.telemetry.WallTracer` (after :meth:`bind`).
+
+        Never rejected: wall time is measured on the host clock, which every
+        backend has — contrast :meth:`set_tracer`, which untimed backends
+        refuse because it needs the modeled cycle clock.
+        """
+        self.wall_tracer = wall_tracer
+        if wall_tracer is not None:
+            wall_tracer.bind(self.device)
+
     def plan_for(self, step):
         return self.plans.plan_for(step)
+
+    def _wall_cost(self, step, kind: str) -> tuple:
+        """``(name, est_bytes, est_flops)`` of one step, cached by identity."""
+        cached = self._wall_costs.get(id(step))
+        if cached is None:
+            from repro.graph.passes.costs import estimate_compute_set, estimate_exchange
+
+            if kind == "compute":
+                cs = step.compute_set
+                est_bytes, est_flops = estimate_compute_set(cs)
+                cached = (cs.name, est_bytes, est_flops)
+            else:
+                plan = self.plan_for(step)
+                cached = (plan.name, estimate_exchange(plan), 0)
+            self._wall_costs[id(step)] = cached
+        return cached
 
     @abstractmethod
     def run_compute_set(self, step) -> None:

@@ -17,12 +17,15 @@ Semantics:
 - ``fallback_vertices`` — per-vertex ``run()`` calls inside kernels for
   compute sets the lowerer could not vectorize (unspec'd codelets).
 
-Counters accumulate for the process; callers snapshot before/after a run
-and diff (see :meth:`GlobalCounters.snapshot`), which is how
-``SolveResult.kernel_counters`` is produced.
+Counters accumulate for the process; callers wrap a run in
+:meth:`GlobalCounters.track` (or snapshot before/after and diff by hand)
+to get the per-run movement, which is how ``SolveResult.kernel_counters``
+is produced.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 __all__ = ["GlobalCounters"]
 
@@ -57,3 +60,21 @@ class GlobalCounters:
     def delta(cls, since: dict) -> dict:
         """Counter movement since a prior :meth:`snapshot`."""
         return {f: getattr(cls, f) - since.get(f, 0) for f in cls._FIELDS}
+
+    @classmethod
+    @contextmanager
+    def track(cls):
+        """Scope that captures the counter movement it encloses.
+
+        Yields a dict that is empty while the block runs and holds the
+        per-run delta (same keys as :meth:`snapshot`) once the block exits —
+        the with-statement replacement for hand-rolled snapshot/delta pairs.
+        The delta is filled in even if the block raises, so error paths can
+        still report how far the run got.
+        """
+        before = cls.snapshot()
+        out: dict = {}
+        try:
+            yield out
+        finally:
+            out.update(cls.delta(before))

@@ -37,8 +37,10 @@ class FastBackend(Backend):
         line of zero-timestamp events; reject it instead of recording one."""
         if tracer is not None:
             raise BackendCapabilityError(
-                f"tracing requires a cycle-accurate backend, not {self.name!r}; "
-                "run with backend='sim' (docs/observability.md)",
+                f"the {self.name!r} backend has no cycle clock, so it cannot "
+                "record a cycle-domain trace; use --backend sim for cycle "
+                "traces, or --wall-trace for measured host timing on this "
+                "backend (docs/observability.md)",
                 backend=self.name,
                 capability="tracer",
             )
@@ -49,8 +51,9 @@ class FastBackend(Backend):
         replay wrongly, so reject it exactly like a tracer."""
         if injector is not None:
             raise BackendCapabilityError(
-                "fault injection requires the cycle-accurate sim backend "
-                f"(docs/resilience.md), not {self.name!r}",
+                f"the {self.name!r} backend has no superstep cost model, so "
+                "fault timing would be meaningless; use --backend sim for "
+                "fault injection (docs/resilience.md)",
                 backend=self.name,
                 capability="fault_injector",
             )
@@ -66,12 +69,33 @@ class FastBackend(Backend):
         dispatch = self._compute.get(id(step))
         if dispatch is None:
             dispatch = self._compute.setdefault(id(step), self.plan_for(step).dispatch)
+        wt = self.wall_tracer
+        if wt is None:
+            for run in dispatch:
+                run()
+            return
+        start = wt.now()
         for run in dispatch:
             run()
+        name, est_bytes, est_flops = self._wall_cost(step, "compute")
+        wt.dispatch(name, "compute", start, est_bytes, est_flops)
 
     def run_exchange(self, step) -> None:
         ops = self._exchange.get(id(step))
         if ops is None:
             ops = self._exchange.setdefault(id(step), self.plan_for(step).ops)
+        wt = self.wall_tracer
+        if wt is None:
+            for op in ops:
+                op.apply()
+            return
+        start = wt.now()
         for op in ops:
             op.apply()
+        name, est_bytes, est_flops = self._wall_cost(step, "exchange")
+        wt.dispatch(name, "exchange", start, est_bytes, est_flops)
+
+    def scope(self, label: str):
+        if self.wall_tracer is None:
+            return super().scope(label)
+        return self.wall_tracer.scope(label)

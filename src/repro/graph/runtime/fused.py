@@ -13,11 +13,14 @@ replay the exact same floating-point operations (see
 vectorize runs unchanged inside the kernel.  Steps outside any kernel
 (uncovered blocks) fall back to the inherited ``fast`` per-step dispatch.
 
-Like ``fast``, the backend is untimed: tracers and fault injectors are
-rejected with :class:`~repro.errors.BackendCapabilityError` (the guard is
-inherited from :class:`~repro.graph.runtime.fast.FastBackend`).  Every
-launch is tallied in :class:`~repro.graph.runtime.counters.GlobalCounters`
-so telemetry and tests can prove fusion happened.
+Like ``fast``, the backend is untimed: cycle tracers and fault injectors
+are rejected with :class:`~repro.errors.BackendCapabilityError` (the guard
+is inherited from :class:`~repro.graph.runtime.fast.FastBackend`), but a
+:class:`~repro.telemetry.WallTracer` is accepted — each launch then gets a
+measured ``perf_counter_ns`` span tagged with the kernel's fused step
+counts and byte/FLOP estimates.  Every launch is also tallied in
+:class:`~repro.graph.runtime.counters.GlobalCounters` so telemetry and
+tests can prove fusion happened.
 """
 
 from __future__ import annotations
@@ -45,7 +48,13 @@ class FusedBackend(FastBackend):
         GlobalCounters.fused_compute_sets += kernel.n_compute
         GlobalCounters.fused_exchanges += kernel.n_exchange
         GlobalCounters.fallback_vertices += kernel.n_fallback
+        wt = self.wall_tracer
+        if wt is None:
+            kernel.run()
+            return
+        start = wt.now()
         kernel.run()
+        wt.kernel(kernel, start)
 
     def run_compute_set(self, step) -> None:
         GlobalCounters.dispatches += 1

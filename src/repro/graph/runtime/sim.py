@@ -18,7 +18,7 @@ tensors and cycle counts (``docs/observability.md``).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 
 from repro.graph.runtime.base import Backend, CONTROL_CYCLES, register_backend
 
@@ -38,6 +38,8 @@ class SimBackend(Backend):
         self.fabric = device.fabric
 
     def run_compute_set(self, step) -> None:
+        wt = self.wall_tracer
+        wall_start = wt.now() if wt is not None else 0
         plan = self.plan_for(step)
         for run in plan.dispatch:
             run()
@@ -50,8 +52,13 @@ class SimBackend(Backend):
             )
         if self.injector is not None:
             self.injector.compute_superstep(plan)
+        if wt is not None:
+            name, est_bytes, est_flops = self._wall_cost(step, "compute")
+            wt.dispatch(name, "compute", wall_start, est_bytes, est_flops)
 
     def run_exchange(self, step) -> None:
+        wt = self.wall_tracer
+        wall_start = wt.now() if wt is not None else 0
         plan = self.plan_for(step)
         for op in plan.ops:
             op.apply()
@@ -67,6 +74,9 @@ class SimBackend(Backend):
             self.tracer.exchange_phase(
                 plan, phase, self.profiler.total_cycles - cost, cost
             )
+        if wt is not None:
+            name, est_bytes, est_flops = self._wall_cost(step, "exchange")
+            wt.dispatch(name, "exchange", wall_start, est_bytes, est_flops)
 
     def control(self) -> None:
         self.profiler.record("control", CONTROL_CYCLES)
@@ -76,11 +86,16 @@ class SimBackend(Backend):
             )
 
     def scope(self, label: str):
-        if self.tracer is None:
+        if self.tracer is None and self.wall_tracer is None:
             return self.profiler.step(label)
         return self._traced_scope(label)
 
     @contextmanager
     def _traced_scope(self, label: str):
-        with self.profiler.step(label), self.tracer.scope(label):
+        with ExitStack() as stack:
+            stack.enter_context(self.profiler.step(label))
+            if self.tracer is not None:
+                stack.enter_context(self.tracer.scope(label))
+            if self.wall_tracer is not None:
+                stack.enter_context(self.wall_tracer.scope(label))
             yield

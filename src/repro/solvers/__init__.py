@@ -8,7 +8,7 @@ Any solver can precondition any other.  Entry points:
 """
 
 from repro.solvers.api import SolveResult, compile_solve, solve
-from repro.solvers.base import Solver, SolveStats
+from repro.solvers.base import Solver, SolveProgress, SolveStats
 from repro.solvers.bicgstab import PBiCGStab
 from repro.solvers.cg import ConjugateGradient
 from repro.solvers.config import SOLVERS, build_solver, load_config
@@ -37,6 +37,7 @@ __all__ = [
     "SolveResult",
     "Solver",
     "SolveStats",
+    "SolveProgress",
     "PBiCGStab",
     "ConjugateGradient",
     "GaussSeidel",

@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import DivergenceError, ReproError, SolverBreakdownError, SRAMOverflowError
 from repro.graph import CompiledProgram, Engine, GlobalCounters
 from repro.machine import IPUDevice
-from repro.solvers.base import SolveStats
+from repro.solvers.base import SolveProgress, SolveStats
 from repro.solvers.config import build_solver
 from repro.solvers.resilience import (
     ResilienceConfig,
@@ -65,6 +65,18 @@ class SolveResult:
     #: launches, dispatches, fused/fallback breakdown) when the backend
     #: dispatches fused kernels (``backend="fused"``), else None.
     kernel_counters: dict | None = None
+    #: Measured host wall-clock seconds for the whole solve call, recorded
+    #: on every backend (contrast ``seconds``, which is the sim backend's
+    #: *modeled* device time and reads zero elsewhere).
+    wall_seconds: float = 0.0
+    #: Aggregated per-kernel wall profile (:meth:`WallTracer.profile`) when
+    #: wall tracing or metrics were enabled, else None.
+    wall_profile: dict | None = None
+    #: :class:`~repro.telemetry.WallTracer` when ``wall_trace``/``metrics``
+    #: was used (wall-domain events + exporters), else None.
+    wall_telemetry: object = None
+    #: :class:`~repro.telemetry.MetricsRegistry` when ``metrics`` was used.
+    metrics: object = None
 
     @property
     def iterations(self) -> int:
@@ -193,6 +205,10 @@ def solve(
     optimize: bool = True,
     backend: str = "sim",
     trace=None,
+    wall_trace=None,
+    metrics=None,
+    on_progress=None,
+    progress_every: int = 1,
     inject_faults=None,
     resilience=None,
     cache=None,
@@ -224,6 +240,20 @@ def solve(
     Tracing is observational — the traced run is bit-identical in tensors
     and cycles to an untraced one.
 
+    ``wall_trace`` enables measured host wall-clock profiling on *any*
+    backend (``docs/observability.md``): ``True`` collects per-launch
+    ``perf_counter_ns`` spans into ``SolveResult.wall_telemetry``, a path
+    additionally writes a wall-domain Chrome trace there, and a
+    :class:`~repro.telemetry.WallTracer` instance records into that
+    tracer.  ``metrics`` collects counters/gauges/histograms into a
+    :class:`~repro.telemetry.MetricsRegistry` (``True``, an instance, or a
+    path — ``.json`` writes a JSON snapshot, anything else Prometheus
+    text) and is returned as ``SolveResult.metrics``.  ``on_progress``
+    receives a :class:`~repro.solvers.SolveProgress` sample every
+    ``progress_every`` recorded iterations while the solve runs.  All
+    three are observational: the solution, residual history, and kernel
+    counters are bit-identical to an unobserved run.
+
     ``inject_faults`` enables deterministic seeded fault injection
     (``docs/resilience.md``; requires the sim backend): a
     :class:`~repro.faults.FaultPlan`, dict, JSON path/string, or the
@@ -246,7 +276,9 @@ def solve(
     :func:`~repro.solvers.session.solve_many`.
     """
     from repro.faults import FaultInjector, FaultPlan
-    from repro.telemetry import Tracer
+    from repro.telemetry import MetricsRegistry, Tracer, WallTracer
+
+    t_wall0 = time.perf_counter()
 
     tracer = None
     trace_path = None
@@ -256,6 +288,49 @@ def solve(
         tracer, trace_path = Tracer(), trace
     elif trace:
         tracer = Tracer()
+
+    mreg = None
+    metrics_path = None
+    if isinstance(metrics, MetricsRegistry):
+        mreg = metrics
+    elif isinstance(metrics, (str, Path)):
+        mreg, metrics_path = MetricsRegistry(), metrics
+    elif metrics:
+        mreg = MetricsRegistry()
+
+    wtracer = None
+    wall_path = None
+    if isinstance(wall_trace, WallTracer):
+        wtracer = wall_trace
+        if mreg is not None and wtracer.metrics is None:
+            wtracer.metrics = mreg
+    elif isinstance(wall_trace, (str, Path)):
+        wtracer, wall_path = WallTracer(metrics=mreg), wall_trace
+    elif wall_trace:
+        wtracer = WallTracer(metrics=mreg)
+    elif mreg is not None:
+        # Metrics alone still want the per-kernel wall series; an internal
+        # tracer feeds the registry (and the result's wall_profile).
+        wtracer = WallTracer(metrics=mreg)
+
+    stride = max(1, int(progress_every))
+
+    def _progress(iteration: int, relative_residual: float, active: int) -> None:
+        if iteration % stride:
+            return
+        wall = time.perf_counter() - t_wall0
+        if mreg is not None:
+            mreg.gauge("repro_solve_iteration", "latest recorded iteration").set(iteration)
+            mreg.gauge(
+                "repro_solve_relative_residual", "latest tracked relative residual"
+            ).set(relative_residual)
+            mreg.gauge(
+                "repro_solve_active_columns", "RHS columns still iterating"
+            ).set(active)
+        if on_progress is not None:
+            on_progress(SolveProgress(iteration, relative_residual, wall, active))
+
+    progress_hook = _progress if (on_progress is not None or mreg is not None) else None
 
     plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
     rconfig = ResilienceConfig.parse(resilience)
@@ -295,84 +370,124 @@ def solve(
     aborted: str | None = None
     # Delta over the whole solve (restarts included) — the counters are
     # process-global, so concurrent engines would fold into one delta.
-    counters_before = GlobalCounters.snapshot()
-
-    while True:
-        monitor = None
-        injector = None
-        built_device = None
-        entry = None
-        try:
-            if pcache is not None:
-                key = fingerprint_solve(
-                    matrix,
-                    config,
-                    num_ipus=num_ipus,
-                    tiles_per_ipu=tiles_per_ipu,
-                    num_tiles=cur_tiles,
-                    grid_dims=grid_dims,
-                    blockwise_halo=blockwise_halo,
-                    optimize=optimize,
-                    backend=backend,
-                    resilient=rconfig is not None,
-                    batch=batch,
-                )
-                entry = pcache.get(key)
-            if entry is not None:
-                # Cache hit: rebind host values into the cached artifact and
-                # re-execute — no symbolic execution, no compiler passes.
-                entry.prepare(b64, x0=x0, rconfig=rconfig)
-                ctx, solver, xvec, bvec = entry.ctx, entry.solver, entry.xvec, entry.bvec
-                built_device, compiled, monitor = entry.device, entry.compiled, entry.monitor
-            else:
-                monitor = ResilienceMonitor(rconfig) if rconfig is not None else None
-                t_build = time.perf_counter()
-                ctx, solver, xvec, bvec, built_device = _build_program(
-                    matrix,
-                    b,
-                    config,
-                    num_ipus=num_ipus,
-                    tiles_per_ipu=tiles_per_ipu,
-                    num_tiles=cur_tiles,
-                    grid_dims=grid_dims,
-                    # Under caching x0 is bound via prepare() below, so the
-                    # snapshotted initial image stays x0-free (x = 0).
-                    x0=None if pcache is not None else x0,
-                    device=cur_device,
-                    blockwise_halo=blockwise_halo,
-                    monitor=monitor,
-                    batch=batch,
-                )
-                compiled = ctx.compile(optimize=optimize)
+    with GlobalCounters.track() as kernel_track:
+        while True:
+            monitor = None
+            injector = None
+            built_device = None
+            entry = None
+            try:
                 if pcache is not None:
-                    entry = CompiledSolve.capture(
-                        key, ctx, solver, xvec, bvec, built_device, compiled,
-                        monitor=monitor,
-                        build_seconds=time.perf_counter() - t_build,
+                    key = fingerprint_solve(
+                        matrix,
+                        config,
+                        num_ipus=num_ipus,
+                        tiles_per_ipu=tiles_per_ipu,
+                        num_tiles=cur_tiles,
+                        grid_dims=grid_dims,
+                        blockwise_halo=blockwise_halo,
+                        optimize=optimize,
+                        backend=backend,
+                        resilient=rconfig is not None,
+                        batch=batch,
                     )
-                    pcache.put(key, entry)
+                    entry = pcache.get(key)
+                if entry is not None:
+                    # Cache hit: rebind host values into the cached artifact and
+                    # re-execute — no symbolic execution, no compiler passes.
                     entry.prepare(b64, x0=x0, rconfig=rconfig)
-            if tracer is not None and pcache is not None:
-                tracer.instant(
-                    "compile_cache",
-                    "compile",
-                    {"event": "hit" if entry.runs > 1 else "miss", **pcache.stats()},
-                    ts=0,
-                )
-            if plan is not None:
-                injector = FaultInjector(plan, disabled=frozenset(disabled))
-            engine = Engine(compiled, backend=backend, tracer=tracer, injector=injector)
-            if monitor is not None:
-                monitor.baseline()
-            aborted = None
-            while True:
-                try:
-                    engine.run()
-                except RollbackSignal as sig:
+                    ctx, solver, xvec, bvec = entry.ctx, entry.solver, entry.xvec, entry.bvec
+                    built_device, compiled, monitor = entry.device, entry.compiled, entry.monitor
+                else:
+                    monitor = ResilienceMonitor(rconfig) if rconfig is not None else None
+                    t_build = time.perf_counter()
+                    ctx, solver, xvec, bvec, built_device = _build_program(
+                        matrix,
+                        b,
+                        config,
+                        num_ipus=num_ipus,
+                        tiles_per_ipu=tiles_per_ipu,
+                        num_tiles=cur_tiles,
+                        grid_dims=grid_dims,
+                        # Under caching x0 is bound via prepare() below, so the
+                        # snapshotted initial image stays x0-free (x = 0).
+                        x0=None if pcache is not None else x0,
+                        device=cur_device,
+                        blockwise_halo=blockwise_halo,
+                        monitor=monitor,
+                        batch=batch,
+                    )
+                    compiled = ctx.compile(optimize=optimize)
+                    if pcache is not None:
+                        entry = CompiledSolve.capture(
+                            key, ctx, solver, xvec, bvec, built_device, compiled,
+                            monitor=monitor,
+                            build_seconds=time.perf_counter() - t_build,
+                        )
+                        pcache.put(key, entry)
+                        entry.prepare(b64, x0=x0, rconfig=rconfig)
+                if tracer is not None and pcache is not None:
+                    tracer.instant(
+                        "compile_cache",
+                        "compile",
+                        {"event": "hit" if entry.runs > 1 else "miss", **pcache.stats()},
+                        ts=0,
+                    )
+                if plan is not None:
+                    injector = FaultInjector(plan, disabled=frozenset(disabled))
+                if progress_hook is not None:
+                    # After prepare()/reset(): a cache hit clears the hook
+                    # along with the rest of the stats record.
+                    solver.stats.progress = progress_hook
+                engine = Engine(compiled, backend=backend, tracer=tracer,
+                                injector=injector, wall_tracer=wtracer)
+                if monitor is not None:
+                    monitor.baseline()
+                aborted = None
+                while True:
+                    try:
+                        engine.run()
+                    except RollbackSignal as sig:
+                        cycle = built_device.profiler.total_cycles
+                        if not monitor.budget_left():
+                            aborted = sig.reason
+                            monitor.restore_state()  # leave the best-known iterate in x
+                            break
+                        rec = monitor.rollback(sig, cycle)
+                        if tracer is not None:
+                            tracer.instant(
+                                "rollback",
+                                "fault",
+                                {
+                                    "reason": rec.reason,
+                                    "iteration": rec.iteration,
+                                    "restored_iteration": rec.restored_iteration,
+                                    "attempt": len(monitor.rollbacks),
+                                },
+                                ts=cycle,
+                            )
+                        continue
+                    if monitor is None or injector is None:
+                        break
+                    # Injected faults can corrupt a Krylov recurrence without
+                    # tripping any device-side check — the tracked residual
+                    # converges while the true residual does not.  Verify on the
+                    # host and treat a miss as one more detection event.
+                    tolv = getattr(solver, "tol", None)
+                    if tolv is None:
+                        break
+                    if getattr(solver, "x_ext", None) is not None:
+                        xv = solver.x_ext.read_global()
+                    else:
+                        xv = xvec.read_global()
+                    bn_ = np.linalg.norm(b64)
+                    rel_ = float(np.linalg.norm(matrix.spmv(xv) - b64) / bn_) if bn_ > 0 else 0.0
+                    if rel_ <= tolv * 10 or solver.classify_failure(engine) is not None:
+                        break  # good enough — or already failed for a named reason
+                    sig = RollbackSignal("silent_corruption", solver.stats.total_iterations)
                     cycle = built_device.profiler.total_cycles
                     if not monitor.budget_left():
-                        aborted = sig.reason
-                        monitor.restore_state()  # leave the best-known iterate in x
+                        aborted = "silent_corruption"
                         break
                     rec = monitor.rollback(sig, cycle)
                     if tracer is not None:
@@ -387,83 +502,47 @@ def solve(
                             },
                             ts=cycle,
                         )
-                    continue
-                if monitor is None or injector is None:
-                    break
-                # Injected faults can corrupt a Krylov recurrence without
-                # tripping any device-side check — the tracked residual
-                # converges while the true residual does not.  Verify on the
-                # host and treat a miss as one more detection event.
-                tolv = getattr(solver, "tol", None)
-                if tolv is None:
-                    break
-                if getattr(solver, "x_ext", None) is not None:
-                    xv = solver.x_ext.read_global()
-                else:
-                    xv = xvec.read_global()
-                bn_ = np.linalg.norm(b64)
-                rel_ = float(np.linalg.norm(matrix.spmv(xv) - b64) / bn_) if bn_ > 0 else 0.0
-                if rel_ <= tolv * 10 or solver.classify_failure(engine) is not None:
-                    break  # good enough — or already failed for a named reason
-                sig = RollbackSignal("silent_corruption", solver.stats.total_iterations)
-                cycle = built_device.profiler.total_cycles
-                if not monitor.budget_left():
-                    aborted = "silent_corruption"
-                    break
-                rec = monitor.rollback(sig, cycle)
-                if tracer is not None:
-                    tracer.instant(
-                        "rollback",
-                        "fault",
-                        {
-                            "reason": rec.reason,
-                            "iteration": rec.iteration,
-                            "restored_iteration": rec.restored_iteration,
-                            "attempt": len(monitor.rollbacks),
-                        },
-                        ts=cycle,
+            except SRAMOverflowError:
+                if rconfig is None or not rconfig.degrade_on_oom:
+                    raise
+                if monitor is not None:
+                    monitors.append(monitor)
+                    # Warm-start the rebuilt program from the best checkpointed
+                    # iterate instead of discarding all converged progress.
+                    warm_x, warm_it = monitor.best_solution()
+                    if warm_x is not None and warm_it > 0:
+                        x0 = warm_x
+                        carried_iterations += warm_it
+                if injector is not None:
+                    prior_records.extend(injector.records)
+                if built_device is not None:
+                    prior_cycles += built_device.profiler.total_cycles
+                    if tracer is not None:
+                        # The rebuilt program runs on a fresh device whose clock
+                        # restarts at zero; keep the trace timeline monotone.
+                        tracer.shift_clock(built_device.profiler.total_cycles)
+                have = cur_tiles
+                if have is None:
+                    n_dev = (
+                        cur_device.num_tiles if cur_device is not None else num_ipus * tiles_per_ipu
                     )
-        except SRAMOverflowError:
-            if rconfig is None or not rconfig.degrade_on_oom:
-                raise
-            if monitor is not None:
-                monitors.append(monitor)
-                # Warm-start the rebuilt program from the best checkpointed
-                # iterate instead of discarding all converged progress.
-                warm_x, warm_it = monitor.best_solution()
-                if warm_x is not None and warm_it > 0:
-                    x0 = warm_x
-                    carried_iterations += warm_it
-            if injector is not None:
-                prior_records.extend(injector.records)
-            if built_device is not None:
-                prior_cycles += built_device.profiler.total_cycles
-                if tracer is not None:
-                    # The rebuilt program runs on a fresh device whose clock
-                    # restarts at zero; keep the trace timeline monotone.
-                    tracer.shift_clock(built_device.profiler.total_cycles)
-            have = cur_tiles
-            if have is None:
-                n_dev = (
-                    cur_device.num_tiles if cur_device is not None else num_ipus * tiles_per_ipu
-                )
-                have = min(n_dev, matrix.n)
-            want = max(rconfig.min_tiles, have // 2)
-            if want >= have:
-                raise  # cannot shrink further — give up
-            # Graceful degradation: rebuild on fewer tiles (more rows per
-            # tile, larger per-tile shards is fine — the overflow here is
-            # per-shard count / injected, not aggregate capacity) and don't
-            # re-fire injected OOMs against the degraded build.
-            disabled.add("tile_oom")
-            restarts += 1
-            cur_tiles = want
-            cur_device = None  # always rebuild on a fresh device
-            continue
-        else:
-            if monitor is not None:
-                monitors.append(monitor)
-            break
+                    have = min(n_dev, matrix.n)
+                want = max(rconfig.min_tiles, have // 2)
+                if want >= have:
+                    raise  # cannot shrink further — give up
+                # Graceful degradation: rebuild on fewer tiles (more rows per
+                # tile, larger per-tile shards is fine — the overflow here is
+                # per-shard count / injected, not aggregate capacity) and don't
+                # re-fire injected OOMs against the degraded build.
+                disabled.add("tile_oom")
+                restarts += 1
+                cur_tiles = want
+                cur_device = None  # always rebuild on a fresh device
+                continue
+            else:
+                if monitor is not None:
+                    monitors.append(monitor)
+                break
 
     # Prefer the extended-precision solution when the solver kept one.
     if getattr(solver, "x_ext", None) is not None:
@@ -549,6 +628,26 @@ def solve(
     batch_stats = getattr(solver, "batch_stats", None)
     if batch_stats is not None and pcache is not None:
         batch_stats = [st.copy() for st in batch_stats]
+
+    if wtracer is not None and wall_path is not None:
+        wtracer.to_chrome(wall_path)
+    wall_seconds = time.perf_counter() - t_wall0
+    if mreg is not None:
+        mreg.counter("repro_solves_total", "completed solve() calls").inc(
+            1, backend=engine.backend.name
+        )
+        mreg.gauge(
+            "repro_solve_wall_seconds", "wall seconds of the last solve call"
+        ).set(wall_seconds)
+        mreg.gauge(
+            "repro_solve_iterations", "iterations of the last solve"
+        ).set(solver.stats.total_iterations)
+        mreg.gauge(
+            "repro_solve_final_relative_residual", "true relative residual (f64)"
+        ).set(rel)
+        if metrics_path is not None:
+            mreg.write(metrics_path)
+
     return SolveResult(
         x=x,
         # Detach the stats under caching: the next hit resets them in place.
@@ -568,8 +667,10 @@ def solve(
         telemetry=tracer,
         resilience=report,
         kernel_counters=(
-            GlobalCounters.delta(counters_before)
-            if getattr(engine.backend, "uses_kernels", False)
-            else None
+            kernel_track if getattr(engine.backend, "uses_kernels", False) else None
         ),
+        wall_seconds=wall_seconds,
+        wall_profile=wtracer.profile() if wtracer is not None else None,
+        wall_telemetry=wtracer,
+        metrics=mreg,
     )

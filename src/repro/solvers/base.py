@@ -16,12 +16,33 @@ configurations driven by a JSON file (:mod:`repro.solvers.config`).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sparse.distribute import DistVector, DistributedMatrix
 
-__all__ = ["Solver", "SolveStats"]
+__all__ = ["Solver", "SolveStats", "SolveProgress"]
+
+
+@dataclass(frozen=True)
+class SolveProgress:
+    """One live progress sample from a running solve.
+
+    Emitted through the ``on_progress`` callback of
+    :func:`repro.solvers.api.solve` every ``progress_every`` recorded
+    iterations, while the device program is still running.
+    """
+
+    #: Cumulative (inner) iteration count at this sample.
+    iteration: int
+    #: Relative residual ``||r|| / ||b||`` at this sample (for a batched
+    #: solve: the worst still-active column).
+    relative_residual: float
+    #: Host wall-clock seconds since the solve call started.
+    wall_seconds: float
+    #: Number of RHS columns still iterating (1 for single-RHS solves).
+    active_columns: int = 1
 
 
 def _graph_var(obj):
@@ -46,11 +67,25 @@ class SolveStats:
         #: converged: "max_iterations", "breakdown", "nan_residual",
         #: "stagnation", "divergence", "silent_corruption".
         self.failure: str | None = None
+        #: Optional live-progress hook ``fn(iteration, relative_residual,
+        #: active_columns)`` fired by every :meth:`record` — the seam the
+        #: solve API uses for ``on_progress`` (docs/observability.md).
+        #: ``None`` costs one attribute check per recorded iteration.
+        self.progress = None
 
-    def record(self, iteration: int, relative_residual: float, cycles: int = 0) -> None:
+    def record(
+        self,
+        iteration: int,
+        relative_residual: float,
+        cycles: int = 0,
+        active: int | None = None,
+    ) -> None:
         self.iterations.append(int(iteration))
         self.residuals.append(float(relative_residual))
         self.cycles.append(int(cycles))
+        if self.progress is not None:
+            self.progress(int(iteration), float(relative_residual),
+                          1 if active is None else int(active))
 
     def reset(self) -> None:
         """Clear the record *in place* for a fresh run of the same program.
@@ -63,6 +98,7 @@ class SolveStats:
         self.iterations.clear()
         self.cycles.clear()
         self.failure = None
+        self.progress = None
 
     def copy(self) -> "SolveStats":
         """Detached snapshot — what a cached-session solve hands back to the

@@ -281,7 +281,8 @@ class PBiCGStab(Solver):
                         for j in range(len(batch_stats))
                     ]
                     cyc = engine.profiler.total_cycles
-                    stats.record(i, max(rel), cycles=cyc)
+                    stats.record(i, max(rel), cycles=cyc,
+                                 active=int(np.count_nonzero(act)))
                     for j, st in enumerate(batch_stats):
                         if act[j] != 0.0:
                             st.record(i, rel[j], cycles=cyc)

@@ -22,11 +22,19 @@ from repro.telemetry.exporters import (
     write_chrome,
     write_ndjson,
 )
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry, log_buckets
 from repro.telemetry.report import TelemetryReport
 from repro.telemetry.tracer import Tracer
+from repro.telemetry.walltrace import WallTracer
 
 __all__ = [
     "Tracer",
+    "WallTracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "log_buckets",
     "TelemetryReport",
     "SpanEvent",
     "CounterEvent",

@@ -55,6 +55,15 @@ class TelemetryReport:
     #: Fault-injection / recovery summary (``fault`` / ``rollback`` /
     #: ``resilience`` instants from docs/resilience.md); empty = none seen.
     faults: dict = field(default_factory=dict)
+    #: Wall-clock kernel profile rows from ``kernel``-category spans
+    #: (:class:`~repro.telemetry.walltrace.WallTracer` traces):
+    #: [(name, launches, wall_ns, est_bytes, est_flops, gb_s, gflop_s)].
+    wall_kernels: list = field(default_factory=list)
+
+    @property
+    def clock_unit(self) -> str:
+        """Timestamp unit of this trace: sim cycles or wall nanoseconds."""
+        return "ns" if self.meta.get("clock") == "wall_ns" else "cycles"
 
     # -- construction ---------------------------------------------------------------
 
@@ -63,6 +72,7 @@ class TelemetryReport:
         rep = cls(meta=dict(meta or {}))
         per_set: dict = defaultdict(lambda: [None, 0, 0])  # name -> [cat, cycles, n]
         per_scope: dict = defaultdict(lambda: [0, 0])
+        per_kernel: dict = defaultdict(lambda: [0, 0, 0, 0])  # n, ns, bytes, flops
         imbalances: list[float] = []
         exch_bytes = 0
         exch_inter = 0
@@ -99,6 +109,12 @@ class TelemetryReport:
                 elif ev.cat == "scope":
                     per_scope[ev.name][0] += ev.dur
                     per_scope[ev.name][1] += 1
+                elif ev.cat == "kernel":
+                    entry = per_kernel[ev.name]
+                    entry[0] += 1
+                    entry[1] += ev.dur
+                    entry[2] += ev.args.get("est_bytes", 0)
+                    entry[3] += ev.args.get("est_flops", 0)
             elif isinstance(ev, CounterEvent) and ev.name == "residual":
                 rr = ev.values.get("relative_residual")
                 if rr is not None:
@@ -124,6 +140,21 @@ class TelemetryReport:
         rep.scopes = sorted(
             ((name, cyc, n) for name, (cyc, n) in per_scope.items()),
             key=lambda row: -row[1],
+        )[:top]
+        rep.wall_kernels = sorted(
+            (
+                (
+                    name,
+                    n,
+                    ns,
+                    b,
+                    f,
+                    (b / (ns * 1e-9) / 1e9) if ns > 0 and b else 0.0,
+                    (f / (ns * 1e-9) / 1e9) if ns > 0 and f else 0.0,
+                )
+                for name, (n, ns, b, f) in per_kernel.items()
+            ),
+            key=lambda row: -row[2],
         )[:top]
 
         hist: dict = defaultdict(int)
@@ -177,13 +208,16 @@ class TelemetryReport:
 
     def render(self) -> str:
         m = self.meta
+        unit = self.clock_unit
         lines = ["telemetry report"]
         if m:
             lines.append(
                 f"  device: {m.get('num_ipus', '?')} IPU(s) x "
                 f"{m.get('tiles_per_ipu', '?')} tiles"
             )
-        lines.append(f"  wall cycles: {self.wall_cycles}")
+        if unit == "ns":
+            lines.append("  clock domain: wall (host ns, measured)")
+        lines.append(f"  wall {unit}: {self.wall_cycles}")
         ex = self.exchange
         if ex:
             lines.append(
@@ -196,16 +230,29 @@ class TelemetryReport:
                 f"{ex['inter_ipu_phases']} inter-IPU, mean congestion "
                 f"{ex['mean_congestion']:.2f} (BSP: overlap = 0)"
             )
+        if self.wall_kernels:
+            lines.append(
+                f"\n  hottest kernels (top {len(self.wall_kernels)}, measured wall):"
+            )
+            lines.append(
+                f"    {'kernel':<12s} {'launches':>8s} {'wall ms':>10s} "
+                f"{'GB/s':>8s} {'GFLOP/s':>8s}"
+            )
+            for name, n, ns, _b, _f, gbs, gflops in self.wall_kernels:
+                lines.append(
+                    f"    {name:<12s} {n:>8d} {ns / 1e6:>10.3f} "
+                    f"{gbs:>8.2f} {gflops:>8.2f}"
+                )
         if self.hottest:
             lines.append(f"\n  hottest compute sets (top {len(self.hottest)}):")
             for name, cat, cyc, n, share in self.hottest:
                 lines.append(
-                    f"    {name:<28s} {cat:<14s} {cyc:>12d} cycles  x{n:<6d} {share:6.1%}"
+                    f"    {name:<28s} {cat:<14s} {cyc:>12d} {unit}  x{n:<6d} {share:6.1%}"
                 )
         if self.scopes:
             lines.append("\n  labeled scopes:")
             for name, cyc, n in self.scopes:
-                lines.append(f"    {name:<28s} {cyc:>12d} cycles  x{n}")
+                lines.append(f"    {name:<28s} {cyc:>12d} {unit}  x{n}")
         if self.imbalance_histogram:
             lines.append(
                 f"\n  load imbalance (worst/mean tile, {self.compute_phases} "

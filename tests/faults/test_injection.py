@@ -131,7 +131,7 @@ class TestGatingAndTelemetry:
         y = A.vector()
         A.spmv(x, y)
         inj = FaultInjector(FaultPlan.parse("bitflip:p=0.1"))
-        with pytest.raises(ValueError, match="sim backend"):
+        with pytest.raises(ValueError, match="backend sim"):
             ctx.run(backend="fast", injector=inj)
 
     def test_faults_emit_tracer_instants(self):

@@ -204,10 +204,9 @@ def test_cg_runtime_kernel_counters_bounded():
     5 launches per executed CG iteration (plus setup), and every launch
     exactly once."""
     crs, dims = poisson3d(8)
-    before = GlobalCounters.snapshot()
-    res = solve(crs, np.ones(crs.n), CG, grid_dims=dims, num_ipus=2,
-                tiles_per_ipu=4, backend="fused")
-    delta = GlobalCounters.delta(before)
+    with GlobalCounters.track() as delta:
+        res = solve(crs, np.ones(crs.n), CG, grid_dims=dims, num_ipus=2,
+                    tiles_per_ipu=4, backend="fused")
     assert res.kernel_counters == delta
     assert delta["kernels"] <= 5 * res.iterations + 10
     assert delta["dispatches"] >= delta["kernels"]
@@ -244,9 +243,17 @@ def test_untimed_backends_reject_observability_hooks(backend_cls):
         assert err.backend == backend.name
     assert tr.value.capability == "tracer"
     assert inj.value.capability == "fault_injector"
+    # The messages must name the rejecting backend and point at the
+    # alternatives: sim for cycle-domain work, --wall-trace for timing.
+    assert repr(backend.name) in str(tr.value)
+    assert "sim" in str(tr.value) and "--wall-trace" in str(tr.value)
+    assert repr(backend.name) in str(inj.value)
+    assert "sim" in str(inj.value)
     # Detaching (None) stays a no-op for both hooks.
     backend.set_tracer(None)
     backend.set_fault_injector(None)
+    # Wall tracing is the untimed backends' timing story: never rejected.
+    assert hasattr(backend, "set_wall_tracer")
 
 
 @pytest.mark.parametrize("backend", ["fast", "fused"])

@@ -1,0 +1,137 @@
+"""MetricsRegistry: instrument semantics and both snapshot exporters."""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+
+# The Prometheus-text sample grammar the CLI parses back.
+SAMPLE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+LABEL = re.compile(r'(\w+)="([^"]*)"')
+
+
+def parse_prometheus(text: str) -> dict:
+    """name -> {sorted label tuple -> float} for every non-comment sample."""
+    out: dict = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE.match(line)
+        assert m is not None, f"unparseable exposition line: {line!r}"
+        name, labels, value = m.groups()
+        key = tuple(sorted(LABEL.findall(labels or "")))
+        out.setdefault(name, {})[key] = float(value)
+    return out
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_set(self):
+        c = Counter("launches")
+        c.inc()
+        c.inc(2, name="k1")
+        c.inc(3, name="k1")
+        assert c.value() == 1
+        assert c.value(name="k1") == 5
+        assert c.value(name="k2") == 0
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("launches")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge("residual")
+        g.set(1.0)
+        g.set(1e-6)
+        assert g.value() == 1e-6
+
+    def test_histogram_buckets_and_snapshot(self):
+        h = Histogram("wall", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        cum, total, n = h.snapshot()
+        # cumulative: <=1, <=10, <=100, +Inf
+        assert cum == [1, 2, 3, 4]
+        assert total == pytest.approx(555.5)
+        assert n == 4
+
+    def test_histogram_empty_label_set_snapshot(self):
+        h = Histogram("wall", buckets=(1.0,))
+        cum, total, n = h.snapshot(name="missing")
+        assert cum == [0, 0] and total == 0.0 and n == 0
+
+    def test_log_buckets_geometric(self):
+        edges = log_buckets(1e-3, 1.0, per_decade=1)
+        assert edges[0] == pytest.approx(1e-3)
+        assert edges[-1] >= 1.0
+        ratios = [b / a for a, b in zip(edges, edges[1:])]
+        assert all(r == pytest.approx(10.0) for r in ratios)
+        with pytest.raises(ValueError):
+            log_buckets(0, 1)
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_mismatch(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a", "help a")
+        assert reg.counter("a") is c
+        assert len(reg) == 1
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_prometheus_text_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_kernel_wall_ns_total", "wall ns").inc(
+            1500, name="k1", kind="kernel"
+        )
+        reg.counter("repro_kernel_wall_ns_total").inc(500, name="k0", kind="kernel")
+        reg.gauge("repro_solve_iterations").set(42)
+        reg.histogram("repro_kernel_wall_seconds", buckets=(1e-6, 1e-3, 1.0)).observe(
+            2e-4, name="k1"
+        )
+        text = reg.to_prometheus()
+        assert "# TYPE repro_kernel_wall_ns_total counter" in text
+        assert "# TYPE repro_kernel_wall_seconds histogram" in text
+        assert "# HELP repro_kernel_wall_ns_total wall ns" in text
+
+        samples = parse_prometheus(text)
+        key = (("kind", "kernel"), ("name", "k1"))
+        assert samples["repro_kernel_wall_ns_total"][key] == 1500
+        assert samples["repro_solve_iterations"][()] == 42
+        # histogram series: per-edge _bucket + +Inf + _sum + _count
+        buckets = samples["repro_kernel_wall_seconds_bucket"]
+        assert buckets[(("le", "+Inf"), ("name", "k1"))] == 1
+        assert buckets[(("le", "0.001"), ("name", "k1"))] == 1
+        assert buckets[(("le", "1e-06"), ("name", "k1"))] == 0
+        assert samples["repro_kernel_wall_seconds_count"][(("name", "k1"),)] == 1
+        assert samples["repro_kernel_wall_seconds_sum"][(("name", "k1"),)] == (
+            pytest.approx(2e-4)
+        )
+
+    def test_json_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2, name="x")
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        data = json.loads(json.dumps(reg.to_json()))
+        assert data["c"]["kind"] == "counter"
+        assert data["c"]["series"] == [{"labels": {"name": "x"}, "value": 2}]
+        assert data["h"]["buckets"] == [1.0]
+        [series] = data["h"]["series"]
+        assert series["counts"] == [1, 0] and series["count"] == 1
+
+    def test_write_picks_format_by_suffix(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        jpath, ppath = tmp_path / "m.json", tmp_path / "m.prom"
+        reg.write(jpath)
+        reg.write(ppath)
+        assert json.loads(jpath.read_text())["c"]["kind"] == "counter"
+        assert ppath.read_text().startswith("# TYPE c counter")

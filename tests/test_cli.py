@@ -262,6 +262,80 @@ class TestCompileReportCommand:
         assert "(no passes run)" in out or "compile report" in out
 
 
+class TestObservabilityCommands:
+    CG = '{"solver": "cg", "tol": 1e-6, "max_iterations": 80}'
+
+    def _observed_solve(self, tmp_path, capsys, metrics_name="m.prom"):
+        wall = tmp_path / "wall.json"
+        metrics = tmp_path / metrics_name
+        rc = main([
+            "solve", "--matrix", "poisson2d:12", "--config", self.CG,
+            "--tiles", "4", "--backend", "fused",
+            "--wall-trace", str(wall), "--metrics", str(metrics),
+            "--progress", "5",
+        ])
+        assert rc == 0
+        return wall, metrics, capsys.readouterr()
+
+    def test_solve_wall_trace_and_metrics_artifacts(self, tmp_path, capsys):
+        from repro.telemetry import validate_chrome_trace
+
+        wall, metrics, captured = self._observed_solve(tmp_path, capsys)
+        assert "host wall-clock" in captured.out
+        assert "wall profile" in captured.out
+        assert "wall trace written to" in captured.out
+        assert "metrics written to" in captured.out
+        assert "[progress] iteration" in captured.err
+        doc = json.loads(wall.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["metadata"]["clock"] == "wall_ns"
+        assert "repro_kernel_wall_ns_total" in metrics.read_text()
+
+    def test_trace_report_renders_wall_domain(self, tmp_path, capsys):
+        wall, _, _ = self._observed_solve(tmp_path, capsys)
+        rc = main(["trace-report", str(wall), "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace" in out
+        assert "clock domain: wall" in out
+        assert "hottest kernels" in out
+
+    def test_metrics_report_from_prometheus_text(self, tmp_path, capsys):
+        _, metrics, _ = self._observed_solve(tmp_path, capsys)
+        rc = main(["metrics-report", str(metrics), "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hottest kernels" in out
+        assert "wall ms" in out
+        assert "iterations:" in out
+        assert "final relative residual:" in out
+
+    def test_metrics_report_from_json_snapshot(self, tmp_path, capsys):
+        _, metrics, _ = self._observed_solve(tmp_path, capsys,
+                                             metrics_name="m.json")
+        assert json.loads(metrics.read_text())
+        rc = main(["metrics-report", str(metrics)])
+        assert rc == 0
+        assert "hottest kernels" in capsys.readouterr().out
+
+    def test_metrics_report_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such metrics file"):
+            main(["metrics-report", str(tmp_path / "missing.prom")])
+
+    def test_wall_trace_works_on_every_backend(self, tmp_path, capsys):
+        for backend in ("sim", "fast"):
+            wall = tmp_path / f"wall-{backend}.json"
+            rc = main([
+                "solve", "--matrix", "poisson2d:8", "--config", self.CG,
+                "--tiles", "4", "--backend", backend,
+                "--wall-trace", str(wall),
+            ])
+            assert rc == 0
+            doc = json.loads(wall.read_text())
+            assert doc["metadata"]["clock"] == "wall_ns"
+        capsys.readouterr()
+
+
 class TestInfoCommand:
     def test_info(self, capsys):
         assert main(["info"]) == 0
