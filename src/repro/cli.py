@@ -34,12 +34,18 @@ Examples::
     python -m repro.cli solve --matrix poisson:32 --config cg --repeat 5
     python -m repro.cli batch --matrix poisson:32 --config cg --count 8
 
+    # Serve solve jobs through the fault-tolerant runtime and hammer it
+    # with an overload + fault-injection load run (docs/serving.md)
+    python -m repro.cli serve --matrix poisson:24 --config cg \\
+        --jobs 32 --tenants 3 --overload 4 --fault-tenant --check
+
     # Show the device spec sheet
     python -m repro.cli info
 
 Framework errors map to distinct exit codes (see ``repro.errors``):
 10 generic, 11 SRAM overflow, 12 solver breakdown, 13 divergence,
-14 bad fault spec.
+14 bad fault spec, 15 backend capability, 16 service overloaded,
+17 job deadline exceeded, 18 tenant quota exceeded.
 """
 
 from __future__ import annotations
@@ -449,6 +455,155 @@ def _cmd_compile_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the serving runtime in-process and drive it with a load run.
+
+    Three optional phases, all against one service instance: a paced
+    *baseline* phase (``--jobs``), a burst *overload* phase submitting
+    ``--overload`` times the service's capacity at once (rejections are
+    the expected, graceful output), and a *fault tenant* whose jobs run
+    seeded fault injection through the resilience rollback path on the sim
+    backend.  ``--check`` re-solves every served job directly and fails
+    unless the served results are bit-identical (docs/serving.md).
+    """
+    import asyncio
+    import json
+    import time
+
+    from repro.serve import LoadGenerator, RetryPolicy, ServicePolicy, SolverService
+    from repro.solvers import solve
+
+    matrix, dims = _load_matrix(args.matrix)
+    rng = np.random.default_rng(args.seed)
+
+    retry = RetryPolicy(base_delay=args.retry_base_delay)
+    policy = ServicePolicy(
+        max_queue_depth=args.queue_depth,
+        default_deadline=args.deadline,
+        retry=retry,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+    mreg = None
+    if args.metrics:
+        from repro.telemetry import MetricsRegistry
+
+        mreg = MetricsRegistry()
+
+    def spec(tenant: str, **extra) -> dict:
+        s = {
+            "matrix": matrix, "b": rng.standard_normal(matrix.n),
+            "config": args.config, "tenant": tenant,
+            "seed": int(rng.integers(2**31)),
+            "grid_dims": dims, "num_ipus": args.ipus,
+            "tiles_per_ipu": args.tiles, "backend": args.backend,
+        }
+        s.update(extra)
+        return s
+
+    async def run() -> dict:
+        service = SolverService(policy=policy, workers=args.workers,
+                                metrics=mreg)
+        gen = LoadGenerator(service)
+        phases: dict = {}
+        async with service:
+            specs = [spec(f"tenant-{i % args.tenants}") for i in range(args.jobs)]
+            if args.fault_tenant:
+                specs += [
+                    spec("faulty", backend="sim",
+                         inject_faults=f"seed={7 + i};bitflip:p=0.004,where=exchange",
+                         resilience="")
+                    for i in range(max(2, args.jobs // 8))
+                ]
+            report = await gen.run(specs, interarrival=args.interarrival)
+            phases["baseline"] = report
+
+            if args.overload > 0:
+                capacity = args.queue_depth + args.workers
+                burst = [spec(f"tenant-{i % args.tenants}")
+                         for i in range(args.overload * capacity)]
+                phases["overload"] = await gen.run(burst)
+        accounting = service.accounting()
+        quarantined = service.breaker.quarantined()
+        cache_stats = service.cache.stats()
+        return {"phases": phases, "accounting": accounting,
+                "quarantined": quarantined, "cache": cache_stats}
+
+    t0 = time.perf_counter()
+    out = asyncio.run(run())
+    wall = time.perf_counter() - t0
+
+    print(f"matrix:     n={matrix.n} nnz={matrix.nnz}; config {args.config!r} "
+          f"on the {args.backend} backend")
+    print(f"service:    {args.workers} worker(s), queue depth {args.queue_depth}, "
+          f"{args.tenants} tenant(s); load run took {wall:.2f}s")
+    for name, report in out["phases"].items():
+        s = report.summary()
+        lat = s["exec_latency"]
+        outcomes = ", ".join(f"{k}={v}" for k, v in sorted(s["outcomes"].items()))
+        print(f"  {name:<9} {s['total']:>4} jobs: {outcomes}")
+        if report.served:
+            print(f"  {'':<9} exec latency p50={lat['p50'] * 1e3:.1f}ms "
+                  f"p95={lat['p95'] * 1e3:.1f}ms "
+                  f"(total p50={s['total_latency']['p50'] * 1e3:.1f}ms)")
+    acc = out["accounting"]
+    print(f"ledger:     submitted={acc['submitted']} accepted={acc['accepted']} "
+          f"rejected={acc['rejected']} ok={acc['ok']} failed={acc['failed']} "
+          f"timed_out={acc['timed_out']} retries={acc['retries']} "
+          f"worker_faults={acc['worker_faults']}")
+    print(f"            balanced={'yes' if acc['balanced'] else 'NO'}; "
+          f"rejections={acc['rejections'] or '{}'}")
+    cache = out["cache"]
+    print(f"cache:      hits={cache['hits']} misses={cache['misses']} "
+          f"evictions={cache['evictions']} size={cache['size']}/{cache['capacity']}")
+    if out["quarantined"]:
+        print(f"breaker:    {len(out['quarantined'])} structure(s) quarantined")
+    if not acc["balanced"]:
+        raise SystemExit("job ledger does not balance: a job was lost or duplicated")
+    if acc["worker_faults"]:
+        raise SystemExit(f"{acc['worker_faults']} worker crash(es) under load")
+
+    if args.check:
+        mismatched = 0
+        checked = 0
+        for report in out["phases"].values():
+            for rec in report.served:
+                res = rec["result"]
+                job = rec["spec"]
+                ref = solve(
+                    job["matrix"], job["b"], res.effective_config,
+                    grid_dims=job.get("grid_dims"),
+                    num_ipus=job.get("num_ipus", 1),
+                    tiles_per_ipu=job.get("tiles_per_ipu", 16),
+                    backend=job.get("backend", "sim"),
+                    inject_faults=job.get("inject_faults"),
+                    resilience=job.get("resilience"),
+                )
+                checked += 1
+                if not (np.array_equal(res.result.x, ref.x)
+                        and res.result.stats.residuals == ref.stats.residuals):
+                    mismatched += 1
+        print(f"check:      {checked} served job(s) re-solved directly; "
+              f"{'all bit-identical' if mismatched == 0 else f'{mismatched} MISMATCHED'}")
+        if mismatched:
+            raise SystemExit("served results are not bit-identical to direct solve()")
+
+    if args.metrics:
+        mreg.write(Path(args.metrics))
+        print(f"metrics written to {args.metrics}")
+    if args.report:
+        doc = {
+            "phases": {k: v.summary() for k, v in out["phases"].items()},
+            "accounting": acc,
+            "cache": cache,
+            "quarantined": out["quarantined"],
+            "wall_seconds": wall,
+        }
+        Path(args.report).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.report}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.machine import MK2
 
@@ -585,6 +740,61 @@ def main(argv=None) -> int:
     p_rep.add_argument("--tree", action="store_true", help="print the optimized step tree")
     p_rep.add_argument("--depth", type=int, default=8, help="step-tree depth limit")
     p_rep.set_defaults(fn=_cmd_compile_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant serving runtime in-process and drive "
+             "it with a load run: baseline, overload burst, fault tenant "
+             "(docs/serving.md)")
+    p_serve.add_argument("--matrix", required=True,
+                         help="poisson[2d|3d]:N | g3|afshell|geo|hook[:size] | file.mtx")
+    p_serve.add_argument("--config", default="cg",
+                         help="solver config: JSON string, .json file, or a bare "
+                              "solver name (default: cg)")
+    p_serve.add_argument("--ipus", type=int, default=1)
+    p_serve.add_argument("--tiles", type=int, default=16, help="tiles per IPU")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seeds the right-hand sides and per-job retry schedules")
+    p_serve.add_argument("--backend", choices=["sim", "fast", "fused"], default="fast",
+                         help="backend for regular tenants (fault tenant always "
+                              "uses sim); default fast")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker threads executing solves")
+    p_serve.add_argument("--queue-depth", type=int, default=8,
+                         help="bounded job-queue capacity (admission control)")
+    p_serve.add_argument("--jobs", type=int, default=16,
+                         help="baseline-phase job count")
+    p_serve.add_argument("--tenants", type=int, default=2,
+                         help="tenants the baseline/overload jobs rotate across")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-job wall-clock deadline in seconds "
+                              "(queue wait included)")
+    p_serve.add_argument("--interarrival", type=float, default=0.0,
+                         help="baseline-phase pacing between submissions (seconds); "
+                              "0 submits everything at once")
+    p_serve.add_argument("--overload", type=int, default=0, metavar="FACTOR",
+                         help="after the baseline, burst FACTOR x (queue depth + "
+                              "workers) jobs at once; typed rejections expected")
+    p_serve.add_argument("--quota-rate", type=float, default=None,
+                         help="per-tenant token-bucket refill (jobs/second); "
+                              "unset disables quotas")
+    p_serve.add_argument("--quota-burst", type=float, default=8.0,
+                         help="per-tenant token-bucket burst depth")
+    p_serve.add_argument("--retry-base-delay", type=float, default=0.05,
+                         help="first retry backoff in seconds")
+    p_serve.add_argument("--fault-tenant", action="store_true",
+                         help="add a tenant whose jobs inject seeded faults and "
+                              "recover through the resilience rollback path "
+                              "(sim backend)")
+    p_serve.add_argument("--check", action="store_true",
+                         help="re-solve every served job directly and fail unless "
+                              "bit-identical (the serving-is-observational contract)")
+    p_serve.add_argument("--metrics", metavar="PATH",
+                         help="write the service metrics snapshot (.json or "
+                              "Prometheus text)")
+    p_serve.add_argument("--report", metavar="PATH",
+                         help="write the load-run summary as JSON")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_info = sub.add_parser("info", help="print the simulated device spec")
     p_info.set_defaults(fn=_cmd_info)

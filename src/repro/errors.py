@@ -17,6 +17,9 @@ __all__ = [
     "DivergenceError",
     "FaultSpecError",
     "BackendCapabilityError",
+    "ServiceOverloadError",
+    "JobTimeoutError",
+    "QuotaExceededError",
 ]
 
 
@@ -126,3 +129,83 @@ class BackendCapabilityError(ReproError, ValueError):
         self.backend = backend
         self.capability = capability
         super().__init__(message)
+
+
+class ServiceOverloadError(ReproError):
+    """The serving runtime shed this job instead of accepting it.
+
+    Raised by :class:`repro.serve.SolverService` admission control when the
+    bounded job queue is full, the service is draining for shutdown, or the
+    target structure's circuit breaker is open (``docs/serving.md``).
+    ``reason`` is one of ``"queue_full"``, ``"shutting_down"``,
+    ``"circuit_open"`` so clients can decide between back-off-and-retry
+    (queue_full), failover (shutting_down), and reporting a poisoned
+    workload (circuit_open).
+    """
+
+    exit_code = 16
+
+    def __init__(self, message: str = "service overloaded", *,
+                 reason: str = "queue_full", depth: int | None = None,
+                 capacity: int | None = None):
+        self.reason = reason
+        self.depth = depth
+        self.capacity = capacity
+        detail = [f"reason={reason}"]
+        if depth is not None and capacity is not None:
+            detail.append(f"queue {depth}/{capacity}")
+        super().__init__(f"{message} ({', '.join(detail)})")
+
+
+class JobTimeoutError(ReproError, TimeoutError):
+    """A solve exceeded its wall-clock deadline and was cancelled
+    cooperatively (checked in the :class:`~repro.solvers.SolveProgress`
+    hook between iterations).
+
+    Carries the partial convergence record so callers can see how far the
+    solve got: ``stats`` is a detached
+    :class:`~repro.solvers.SolveStats` copy (``None`` when the deadline
+    expired before the first recorded iteration, e.g. while the job was
+    still queued), ``iteration`` the last recorded iteration, and
+    ``wall_seconds``/``budget_seconds`` the measured and allowed time.
+    """
+
+    exit_code = 17
+
+    def __init__(self, message: str = "solve deadline exceeded", *,
+                 solver: str | None = None, iteration: int | None = None,
+                 wall_seconds: float | None = None,
+                 budget_seconds: float | None = None, stats=None):
+        self.solver = solver
+        self.iteration = iteration
+        self.wall_seconds = wall_seconds
+        self.budget_seconds = budget_seconds
+        self.stats = stats
+        detail = []
+        if iteration is not None:
+            detail.append(f"at iteration {iteration}")
+        if wall_seconds is not None and budget_seconds is not None:
+            detail.append(f"{wall_seconds:.3f}s > budget {budget_seconds:.3f}s")
+        super().__init__(f"{message} ({', '.join(detail)})" if detail else message)
+
+
+class QuotaExceededError(ReproError):
+    """A tenant ran out of admission tokens (per-tenant token bucket).
+
+    ``retry_after`` is the seconds until the bucket refills enough for one
+    job (``inf`` for a zero-rate bucket) — the client back-off hint
+    (``docs/serving.md``).
+    """
+
+    exit_code = 18
+
+    def __init__(self, message: str = "tenant quota exceeded", *,
+                 tenant: str | None = None, retry_after: float | None = None):
+        self.tenant = tenant
+        self.retry_after = retry_after
+        detail = []
+        if tenant is not None:
+            detail.append(f"tenant {tenant!r}")
+        if retry_after is not None:
+            detail.append(f"retry after {retry_after:.3f}s")
+        super().__init__(f"{message} ({', '.join(detail)})" if detail else message)

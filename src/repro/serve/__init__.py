@@ -1,0 +1,43 @@
+"""``repro.serve``: solver-as-a-service — a fault-tolerant async serving
+runtime over the structure-keyed compile cache.
+
+The paper's premise is amortized compilation: build a solver graph once
+per sparsity structure, then solve many right-hand sides against it.  This
+package is the serving half of that premise (ROADMAP item 1): a
+long-running :class:`SolverService` that admits solve jobs from multiple
+tenants, runs them on a worker pool over one process-wide
+:class:`~repro.solvers.ProgramCache`, and degrades gracefully instead of
+falling over — bounded queue + typed rejections, per-tenant quotas,
+per-job deadlines (cooperative, mid-solve), seeded deterministic retries,
+per-structure circuit breaking, graceful drain.
+
+See ``docs/serving.md`` for the architecture and the failure-mode table,
+and ``benchmarks/bench_serve_load.py`` for the overload/bit-identity
+acceptance harness.
+"""
+
+from repro.serve.client import LoadGenerator, LoadReport, ServiceClient
+from repro.serve.policy import (
+    TRANSIENT_FAILURES,
+    CircuitBreaker,
+    RetryPolicy,
+    ServicePolicy,
+    TokenBucket,
+)
+from repro.serve.queue import FairQueue, Job, JobResult
+from repro.serve.service import SolverService
+
+__all__ = [
+    "SolverService",
+    "ServicePolicy",
+    "RetryPolicy",
+    "TokenBucket",
+    "CircuitBreaker",
+    "TRANSIENT_FAILURES",
+    "FairQueue",
+    "Job",
+    "JobResult",
+    "ServiceClient",
+    "LoadGenerator",
+    "LoadReport",
+]

@@ -1,0 +1,180 @@
+"""Client-side helpers for the serving runtime.
+
+Two layers:
+
+- :class:`ServiceClient` — a tenant-scoped handle on a
+  :class:`~repro.serve.SolverService`.  ``solve`` raises the service's
+  typed errors; ``try_solve`` never raises — it classifies the outcome
+  into the record shape the load tooling aggregates, which is also the
+  shape a remote client would see on the wire (outcome + exit code +
+  message, never a traceback).
+- :class:`LoadGenerator` / :class:`LoadReport` — the open-loop load
+  driver behind ``benchmarks/bench_serve_load.py`` and the CI serve-smoke
+  leg: submit a list of job specs against a service (optionally paced),
+  gather every outcome, and report latency percentiles and rejection
+  rates.  Rejections are *expected output* under overload — the report
+  treats them as first-class counts, not errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    JobTimeoutError,
+    QuotaExceededError,
+    ReproError,
+    ServiceOverloadError,
+)
+
+__all__ = ["ServiceClient", "LoadGenerator", "LoadReport"]
+
+
+def _classify(exc: BaseException) -> str:
+    """Map a job's exception to an outcome label (the report's buckets)."""
+    if isinstance(exc, ServiceOverloadError):
+        return f"rejected:{exc.reason}"
+    if isinstance(exc, QuotaExceededError):
+        return "rejected:quota"
+    if isinstance(exc, JobTimeoutError):
+        return "timed_out"
+    return "failed"
+
+
+class ServiceClient:
+    """A tenant's view of the service: submit jobs, get typed outcomes."""
+
+    def __init__(self, service, tenant: str = "default"):
+        self.service = service
+        self.tenant = tenant
+
+    def submit(self, matrix, b, config, **kwargs):
+        kwargs.setdefault("tenant", self.tenant)
+        return self.service.submit(matrix, b, config, **kwargs)
+
+    async def solve(self, matrix, b, config, **kwargs):
+        """Submit and await; raises the job's typed ``ReproError``."""
+        return await self.submit(matrix, b, config, **kwargs).future
+
+    async def try_solve(self, matrix, b, config, **kwargs) -> dict:
+        """Submit and await, never raising: returns an outcome record
+        ``{tenant, outcome, result|error, exit_code, ...}``."""
+        try:
+            job = self.submit(matrix, b, config, **kwargs)
+        except ReproError as exc:  # synchronous admission rejection
+            return {
+                "tenant": kwargs.get("tenant", self.tenant),
+                "outcome": _classify(exc),
+                "error": str(exc),
+                "exit_code": exc.exit_code,
+                "result": None,
+            }
+        try:
+            res = await job.future
+        except ReproError as exc:
+            return {
+                "tenant": job.tenant,
+                "outcome": _classify(exc),
+                "error": str(exc),
+                "exit_code": exc.exit_code,
+                "result": None,
+                "job_id": job.id,
+            }
+        return {
+            "tenant": res.tenant,
+            "outcome": "ok",
+            "error": None,
+            "exit_code": 0,
+            "result": res,
+            "job_id": res.job_id,
+        }
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcomes of one load run."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, record: dict) -> None:
+        self.records.append(record)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for r in self.records if r["outcome"] == outcome)
+
+    @property
+    def served(self) -> list:
+        return [r for r in self.records if r["outcome"] == "ok"]
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.records if r["outcome"].startswith("rejected:"))
+
+    def rejection_reasons(self) -> dict:
+        out: dict = {}
+        for r in self.records:
+            if r["outcome"].startswith("rejected:"):
+                reason = r["outcome"].split(":", 1)[1]
+                out[reason] = out.get(reason, 0) + 1
+        return out
+
+    def latency_percentiles(self, which: str = "exec_seconds",
+                            qs=(50, 95, 99)) -> dict:
+        """Percentiles (seconds) over served jobs' ``exec_seconds`` (solver
+        time only) or ``total_seconds`` (queue wait included)."""
+        vals = [getattr(r["result"], which) for r in self.served]
+        if not vals:
+            return {f"p{q}": float("nan") for q in qs}
+        arr = np.asarray(vals, dtype=np.float64)
+        return {f"p{q}": float(np.percentile(arr, q)) for q in qs}
+
+    def summary(self) -> dict:
+        outcomes: dict = {}
+        for r in self.records:
+            outcomes[r["outcome"]] = outcomes.get(r["outcome"], 0) + 1
+        return {
+            "total": self.total,
+            "outcomes": outcomes,
+            "rejection_reasons": self.rejection_reasons(),
+            "exec_latency": self.latency_percentiles("exec_seconds"),
+            "total_latency": self.latency_percentiles("total_seconds"),
+        }
+
+
+class LoadGenerator:
+    """Open-loop load driver: submit job specs, gather every outcome.
+
+    Each spec is a dict of :meth:`ServiceClient.try_solve` arguments plus
+    the required ``matrix``/``b``/``config`` keys.  ``interarrival`` paces
+    submissions (0 = all at once — the overload hammer); outcomes are
+    awaited concurrently, so a paced run still overlaps service work with
+    submission.
+    """
+
+    def __init__(self, service):
+        self.service = service
+
+    async def run(self, specs: list, interarrival: float = 0.0) -> LoadReport:
+        report = LoadReport()
+        tasks = []
+        for spec in specs:
+            kwargs = dict(spec)
+            matrix = kwargs.pop("matrix")
+            b = kwargs.pop("b")
+            config = kwargs.pop("config")
+            client = ServiceClient(self.service, kwargs.pop("tenant", "default"))
+            tasks.append(asyncio.ensure_future(
+                client.try_solve(matrix, b, config, tenant=client.tenant, **kwargs)))
+            if interarrival > 0:
+                await asyncio.sleep(interarrival)
+        for spec, rec in zip(specs, await asyncio.gather(*tasks)):
+            rec["spec"] = spec  # what was submitted — lets callers re-solve directly
+            report.add(rec)
+        return report

@@ -1,0 +1,167 @@
+"""The bounded, tenant-fair job queue behind the serving runtime.
+
+Two pieces:
+
+- :class:`Job` — one accepted solve request: the system to solve, the
+  tenant it belongs to, its (absolute, monotonic-clock) deadline, its
+  precomputed retry schedule, and the ``asyncio.Future`` every outcome is
+  delivered through.  A job's future is resolved **exactly once** — the
+  no-lost-no-duplicated invariant the hypothesis overload test pins.
+- :class:`FairQueue` — a bounded multi-tenant queue: one FIFO lane per
+  tenant, round-robin dequeue across lanes.  Fairness means a tenant
+  flooding the queue cannot starve the others: each ``pop`` serves the
+  next tenant in rotation, so per-tenant latency degrades with *that
+  tenant's* backlog, not the total.  A full queue refuses new work with a
+  typed :class:`~repro.errors.ServiceOverloadError` (admission control);
+  retries re-enter with ``force=True`` because they were already admitted.
+
+The queue is event-loop-confined (the service touches it only from loop
+callbacks), so it needs no lock of its own — unlike the cross-thread
+:class:`~repro.solvers.ProgramCache`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServiceOverloadError
+
+__all__ = ["Job", "JobResult", "FairQueue"]
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One admitted solve request, queued or running."""
+
+    matrix: object
+    b: object
+    config: object
+    tenant: str = "default"
+    #: Absolute deadline on the monotonic clock (``None`` = no deadline).
+    deadline: float | None = None
+    #: Seed the retry backoff schedule derives from (jobs are deterministic;
+    #: the seed buys replayable retry timing, not numerics).
+    seed: int = 0
+    x0: object = None
+    inject_faults: object = None
+    resilience: object = None
+    #: Extra :func:`repro.solvers.solve` keyword arguments (backend,
+    #: tiles_per_ipu, grid_dims, ...).
+    solve_kwargs: dict = field(default_factory=dict)
+
+    # -- filled in by the service ---------------------------------------------------
+    id: int = field(default_factory=lambda: next(_job_ids))
+    #: Structure fingerprint of attempt 0 (circuit-breaker key).
+    fingerprint: str = ""
+    #: Precomputed deterministic backoff delays (RetryPolicy.schedule).
+    retry_delays: tuple = ()
+    attempt: int = 0
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    #: Seconds spent executing solve() across attempts (queue wait excluded).
+    exec_seconds: float = 0.0
+    future: object = None  # asyncio.Future delivering JobResult / exception
+
+    def resolve(self, result) -> None:
+        if self.future is not None and not self.future.done():
+            self.future.set_result(result)
+
+    def fail(self, exc: BaseException) -> None:
+        if self.future is not None and not self.future.done():
+            self.future.set_exception(exc)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A served job's outcome: the solve result plus serving metadata."""
+
+    job_id: int
+    tenant: str
+    #: The :class:`~repro.solvers.SolveResult` of the successful attempt.
+    result: object
+    #: Attempts run (1 = no retry was needed).
+    attempts: int
+    #: Config the successful attempt actually ran
+    #: (:meth:`~repro.serve.RetryPolicy.effective_config`); a direct
+    #: ``solve(matrix, b, effective_config)`` call reproduces ``result``
+    #: bit for bit.
+    effective_config: object
+    #: Seconds from admission to first dispatch.
+    queue_seconds: float
+    #: Seconds spent inside solve() across all attempts.
+    exec_seconds: float
+    #: Seconds from admission to completion (what the tenant experienced).
+    total_seconds: float
+
+
+class FairQueue:
+    """Bounded multi-tenant FIFO with round-robin dequeue across tenants."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ReproError("FairQueue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lanes: OrderedDict[str, deque] = OrderedDict()
+        self._rotation: deque = deque()  # tenants with queued work
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        return self._size
+
+    def tenants(self) -> list:
+        """Tenants with queued work, in rotation order."""
+        return list(self._rotation)
+
+    def push(self, job: Job, *, force: bool = False) -> None:
+        """Enqueue ``job``; a full queue raises the typed overload error.
+
+        ``force`` bypasses the capacity check — used for retries of jobs
+        that were already admitted (an accepted job is never dropped by
+        its own backoff re-entry).
+        """
+        if not force and self._size >= self.capacity:
+            raise ServiceOverloadError(
+                "job queue full",
+                reason="queue_full",
+                depth=self._size,
+                capacity=self.capacity,
+            )
+        lane = self._lanes.get(job.tenant)
+        if lane is None:
+            lane = self._lanes[job.tenant] = deque()
+        if not lane:
+            self._rotation.append(job.tenant)
+        lane.append(job)
+        self._size += 1
+
+    def pop(self) -> Job | None:
+        """Dequeue the next job, rotating across tenants; None when empty."""
+        while self._rotation:
+            tenant = self._rotation.popleft()
+            lane = self._lanes.get(tenant)
+            if not lane:
+                continue
+            job = lane.popleft()
+            self._size -= 1
+            if lane:
+                self._rotation.append(tenant)  # tenant goes to the back
+            return job
+        return None
+
+    def drain(self) -> list:
+        """Remove and return every queued job (shutdown without drain)."""
+        out = []
+        for lane in self._lanes.values():
+            out.extend(lane)
+            lane.clear()
+        self._rotation.clear()
+        self._size = 0
+        return out

@@ -1,0 +1,494 @@
+"""``SolverService``: the fault-tolerant async solve-serving runtime.
+
+The paper's solvers are amortized-compile engines — setup once, solve many
+— and this module is the "solve many, for many tenants" layer (ROADMAP
+item 1): a long-running asyncio service that accepts solve jobs, runs them
+on a thread worker pool over one process-wide structure-keyed
+:class:`~repro.solvers.ProgramCache`, and is robust by construction:
+
+- **Admission control** — a bounded tenant-fair queue
+  (:class:`~repro.serve.FairQueue`); a full queue, a draining service, or
+  a quarantined structure sheds the job with a typed
+  :class:`~repro.errors.ServiceOverloadError` instead of queueing without
+  bound.  Memory is the scarce resource (the Citadel IPU microbenchmarks:
+  everything lives in SRAM) — a bounded queue over a bounded LRU of
+  compiled programs keeps the service's footprint flat under any load.
+- **Per-tenant quotas** — a token bucket per tenant
+  (:class:`~repro.serve.TokenBucket`); an exhausted bucket rejects with
+  :class:`~repro.errors.QuotaExceededError` and a ``retry_after`` hint.
+- **Deadlines** — per-job wall-clock budgets (queue wait included),
+  enforced cooperatively mid-solve through ``solve(max_wall_seconds=...)``
+  — the PR 8 progress-hook seam — surfacing
+  :class:`~repro.errors.JobTimeoutError` with the partial
+  :class:`~repro.solvers.SolveStats`.
+- **Retries** — transient failures (breakdown / divergence / stagnation,
+  the PR 4 hierarchy) retry on a seeded exponential-backoff schedule with
+  an escalated or fallback config
+  (:class:`~repro.serve.RetryPolicy`); fault-injected jobs ride the
+  existing resilience rollback path *first* and only reach the retry
+  ladder if recovery fails.
+- **Circuit breaking** — structures whose solves repeatedly fail are
+  quarantined per fingerprint (:class:`~repro.serve.CircuitBreaker`).
+- **Graceful drain** — ``stop()`` stops admitting, finishes queued and
+  in-flight work, then tears down the pool; every accepted job's future
+  resolves exactly once, whatever happens.
+
+Solves execute in a :class:`~concurrent.futures.ThreadPoolExecutor` so the
+event loop stays responsive for admission and shutdown while numerics run.
+Jobs that share a structure fingerprint serialize on a per-fingerprint
+lock (cache entries are stateful — :attr:`~repro.solvers.CompiledSolve`);
+distinct structures run concurrently.
+
+Serving is *observational*: a served result is bit-identical — solution,
+residual history, cycles — to a direct :func:`repro.solvers.solve` call
+with the same arguments (and, after retries, with the recorded
+``effective_config``).  ``benchmarks/bench_serve_load.py`` enforces this
+under deliberate overload.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import (
+    DivergenceError,
+    JobTimeoutError,
+    QuotaExceededError,
+    ReproError,
+    ServiceOverloadError,
+    SolverBreakdownError,
+)
+from repro.serve.policy import CircuitBreaker, ServicePolicy, TokenBucket
+from repro.serve.queue import FairQueue, Job, JobResult
+from repro.solvers.session import ProgramCache, fingerprint_solve
+
+__all__ = ["SolverService"]
+
+
+class SolverService:
+    """A long-running async solve service over a shared compile cache.
+
+    Usage::
+
+        policy = ServicePolicy(max_queue_depth=8, quota_rate=50.0)
+        async with SolverService(policy=policy, workers=2) as svc:
+            result = await svc.solve(matrix, b, "cg", tenant="acme",
+                                     deadline=2.0)
+            x = result.result.x
+
+    ``submit`` returns the :class:`~repro.serve.Job` immediately (its
+    ``future`` delivers a :class:`~repro.serve.JobResult` or a typed
+    :class:`~repro.errors.ReproError`); ``solve`` is submit-and-await.
+    """
+
+    def __init__(self, *, policy: ServicePolicy | None = None, workers: int = 2,
+                 cache: ProgramCache | None = None, metrics=None):
+        if workers < 1:
+            raise ReproError("SolverService needs at least 1 worker")
+        self.policy = policy if policy is not None else ServicePolicy()
+        self.workers = int(workers)
+        #: The process-wide structure-keyed compile cache shared by every
+        #: tenant (thread-safe since this PR).
+        self.cache = cache if cache is not None else ProgramCache()
+        self.metrics = metrics  # MetricsRegistry or None
+        self.breaker = CircuitBreaker(self.policy.breaker_threshold,
+                                      self.policy.breaker_cooldown)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._queue = FairQueue(self.policy.max_queue_depth)
+        self._struct_locks: dict[str, threading.Lock] = {}
+        self._struct_locks_guard = threading.Lock()
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._worker_tasks: list = []
+        self._items: asyncio.Semaphore | None = None
+        self._idle: asyncio.Event | None = None
+        self._running = False
+        self._draining = False
+
+        # Accounting (event-loop-confined): the no-lost-no-duplicated-job
+        # ledger the overload tests check.
+        self.counts = {
+            "submitted": 0, "accepted": 0, "rejected": 0,
+            "ok": 0, "failed": 0, "timed_out": 0, "cancelled": 0,
+            "retries": 0, "worker_faults": 0,
+        }
+        self.rejections: dict[str, int] = {}
+        self._in_flight = 0
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    async def start(self) -> "SolverService":
+        if self._running:
+            raise ReproError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve")
+        self._items = asyncio.Semaphore(0)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._worker_tasks = [
+            self._loop.create_task(self._worker(i), name=f"repro-serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+        self._running = True
+        self._draining = False
+        return self
+
+    async def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down: stop admitting, then drain or shed the backlog.
+
+        ``drain=True`` (graceful): queued and in-flight jobs finish
+        normally.  ``drain=False``: queued jobs fail immediately with
+        ``ServiceOverloadError(reason="shutting_down")``; in-flight solves
+        still run to completion (worker threads cannot be interrupted
+        safely — deadlines are the tool for bounding them).  Either way
+        every accepted job's future is resolved before this returns.
+        """
+        if not self._running:
+            return
+        self._draining = True
+        if not drain:
+            for job in self._queue.drain():
+                self.counts["cancelled"] += 1
+                job.fail(ServiceOverloadError(
+                    "service shutting down", reason="shutting_down"))
+                self._job_done(job, "cancelled")
+        self._gauges()
+        if self._pending() == 0:
+            self._idle.set()
+        await asyncio.wait_for(self._idle.wait(), timeout)
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        self._executor.shutdown(wait=True)
+        self._running = False
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=True)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- submission ---------------------------------------------------------------------
+
+    def submit(self, matrix, b, config, *, tenant: str = "default",
+               deadline: float | None = None, seed: int = 0, x0=None,
+               inject_faults=None, resilience=None, **solve_kwargs) -> Job:
+        """Admit one solve job; returns it with a live ``future``.
+
+        Raises the typed admission errors **synchronously**:
+        :class:`~repro.errors.ServiceOverloadError` (queue full, draining,
+        or circuit open) and :class:`~repro.errors.QuotaExceededError`
+        (tenant out of tokens).  ``deadline`` is wall-clock seconds from
+        now, queue wait included.
+        """
+        self.counts["submitted"] += 1
+        now = self._now()
+        if not self._running or self._draining:
+            self._reject("shutting_down")
+            raise ServiceOverloadError("service is not accepting jobs",
+                                       reason="shutting_down")
+        if self.policy.quota_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.policy.quota_rate, self.policy.quota_burst)
+            if not bucket.try_acquire(now):
+                self._reject("quota")
+                raise QuotaExceededError(tenant=tenant,
+                                         retry_after=bucket.retry_after())
+
+        if deadline is None:
+            deadline = self.policy.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise ReproError(f"deadline must be > 0, got {deadline!r}")
+
+        job = Job(
+            matrix=matrix, b=b, config=config, tenant=tenant,
+            deadline=None if deadline is None else now + float(deadline),
+            seed=int(seed), x0=x0, inject_faults=inject_faults,
+            resilience=resilience, solve_kwargs=dict(solve_kwargs),
+        )
+        job.fingerprint = self._fingerprint(job, config)
+        job.retry_delays = self.policy.retry.schedule(job.seed)
+        job.submitted_at = now
+        job.future = self._loop.create_future()
+
+        if not self.breaker.allow(job.fingerprint, now):
+            self._reject("circuit_open")
+            raise ServiceOverloadError(
+                f"structure {job.fingerprint[:12]} is quarantined "
+                f"(circuit breaker open)", reason="circuit_open")
+        try:
+            self._queue.push(job)
+        except ServiceOverloadError:
+            self._reject("queue_full")
+            raise
+        self.counts["accepted"] += 1
+        self._idle.clear()
+        self._items.release()
+        self._gauges()
+        return job
+
+    async def solve(self, matrix, b, config, **kwargs) -> JobResult:
+        """Submit and await: returns the :class:`~repro.serve.JobResult`
+        or raises the job's typed error."""
+        return await self.submit(matrix, b, config, **kwargs).future
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._loop.time() if self._loop is not None else time.monotonic()
+
+    def _pending(self) -> int:
+        return len(self._queue) + self._in_flight
+
+    def _reject(self, reason: str) -> None:
+        self.counts["rejected"] += 1
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_rejections_total", "jobs shed at admission"
+            ).inc(1, reason=reason)
+
+    def _gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_serve_queue_depth", "jobs waiting in the fair queue"
+            ).set(len(self._queue))
+            self.metrics.gauge(
+                "repro_serve_in_flight", "jobs dispatched to the worker pool"
+            ).set(self._in_flight)
+
+    def _fingerprint(self, job: Job, config) -> str:
+        """The structure key solve() will use for this job's cache entry —
+        also the circuit-breaker key and the execution-serialization key."""
+        kw = job.solve_kwargs
+        b = np.asarray(job.b)
+        return fingerprint_solve(
+            job.matrix, config,
+            num_ipus=kw.get("num_ipus", 1),
+            tiles_per_ipu=kw.get("tiles_per_ipu", 16),
+            num_tiles=kw.get("num_tiles"),
+            grid_dims=kw.get("grid_dims"),
+            blockwise_halo=kw.get("blockwise_halo", True),
+            optimize=kw.get("optimize", True),
+            backend=kw.get("backend", "sim"),
+            resilient=job.resilience is not None,
+            batch=b.shape[0] if b.ndim == 2 else 1,
+        )
+
+    def _struct_lock(self, fingerprint: str) -> threading.Lock:
+        with self._struct_locks_guard:
+            lock = self._struct_locks.get(fingerprint)
+            if lock is None:
+                lock = self._struct_locks[fingerprint] = threading.Lock()
+            return lock
+
+    def _job_done(self, job: Job, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_jobs_total", "finished jobs by outcome"
+            ).inc(1, tenant=job.tenant, outcome=outcome)
+            total = self._now() - job.submitted_at
+            self.metrics.histogram(
+                "repro_serve_job_seconds", "admission-to-completion latency"
+            ).observe(total, tenant=job.tenant)
+        if self._draining and self._pending() == 0:
+            self._idle.set()
+
+    async def _worker(self, wid: int) -> None:
+        while True:
+            await self._items.acquire()
+            job = self._queue.pop()
+            self._gauges()
+            if job is None:  # queue was shed under us (non-drain stop)
+                continue
+            self._in_flight += 1
+            self._gauges()
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                # Shutdown while holding a job: resolve it, then exit.
+                self.counts["cancelled"] += 1
+                job.fail(ServiceOverloadError(
+                    "service shutting down", reason="shutting_down"))
+                self._in_flight -= 1
+                self._job_done(job, "cancelled")
+                raise
+            except BaseException as exc:  # the "zero worker crashes" ledger
+                self.counts["worker_faults"] += 1
+                self.counts["failed"] += 1
+                job.fail(exc if isinstance(exc, ReproError)
+                         else ReproError(f"worker fault: {exc!r}"))
+                self._in_flight -= 1
+                self._job_done(job, "failed")
+            else:
+                self._in_flight -= 1
+                self._job_done(job, self._outcome_of(job))
+            self._gauges()
+
+    @staticmethod
+    def _outcome_of(job: Job) -> str:
+        fut = job.future
+        if fut is None or not fut.done() or fut.cancelled():
+            return "cancelled"
+        exc = fut.exception()
+        if exc is None:
+            return "ok"
+        return "timed_out" if isinstance(exc, JobTimeoutError) else "failed"
+
+    async def _run_job(self, job: Job) -> None:
+        """The attempt loop: dispatch, classify, back off, retry."""
+        retry = self.policy.retry
+        job.started_at = self._now()
+        while True:
+            remaining = None
+            if job.deadline is not None:
+                remaining = job.deadline - self._now()
+                if remaining <= 0:
+                    self.counts["timed_out"] += 1
+                    job.fail(JobTimeoutError(
+                        "deadline expired before dispatch",
+                        iteration=0,
+                        wall_seconds=self._now() - job.submitted_at,
+                        budget_seconds=job.deadline - job.submitted_at,
+                    ))
+                    return
+
+            config = retry.effective_config(job.config, job.attempt)
+            fingerprint = (job.fingerprint if job.attempt == 0
+                           else self._fingerprint(job, config))
+            t0 = time.perf_counter()
+            failure: str | None = None
+            error: ReproError | None = None
+            result = None
+            try:
+                result = await self._loop.run_in_executor(
+                    self._executor, self._solve_attempt,
+                    job, config, fingerprint, remaining)
+                failure = result.stats.failure
+            except JobTimeoutError as exc:
+                job.exec_seconds += time.perf_counter() - t0
+                self.counts["timed_out"] += 1
+                job.fail(exc)
+                return
+            except SolverBreakdownError as exc:  # raise_on_failure configs
+                failure, error = "breakdown", exc
+            except DivergenceError as exc:
+                failure, error = (exc.reason or "divergence"), exc
+            job.exec_seconds += time.perf_counter() - t0
+
+            if failure is None:
+                self.breaker.record_success(job.fingerprint)
+                self.counts["ok"] += 1
+                now = self._now()
+                job.resolve(JobResult(
+                    job_id=job.id, tenant=job.tenant, result=result,
+                    attempts=job.attempt + 1, effective_config=config,
+                    queue_seconds=job.started_at - job.submitted_at,
+                    exec_seconds=job.exec_seconds,
+                    total_seconds=now - job.submitted_at,
+                ))
+                return
+
+            # The structure produced a failed solve — feed the breaker
+            # whether or not this particular job still has retries left.
+            self.breaker.record_failure(job.fingerprint, self._now())
+            out_of_attempts = job.attempt + 1 >= retry.max_attempts
+            if not retry.is_transient(failure) or out_of_attempts:
+                self.counts["failed"] += 1
+                if error is None:
+                    error = self._failure_error(job, failure, result)
+                job.fail(error)
+                return
+
+            delay = (job.retry_delays[job.attempt]
+                     if job.attempt < len(job.retry_delays) else 0.0)
+            if remaining is not None and delay >= remaining:
+                self.counts["timed_out"] += 1
+                job.fail(JobTimeoutError(
+                    f"backoff ({delay:.3f}s) would overrun the deadline",
+                    iteration=result.stats.total_iterations if result else None,
+                    wall_seconds=self._now() - job.submitted_at,
+                    budget_seconds=job.deadline - job.submitted_at,
+                    stats=result.stats if result is not None else None,
+                ))
+                return
+            self.counts["retries"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_serve_retries_total", "retry attempts dispatched"
+                ).inc(1, tenant=job.tenant)
+            job.attempt += 1
+            await asyncio.sleep(delay)
+
+    def _solve_attempt(self, job: Job, config, fingerprint: str,
+                       remaining: float | None):
+        """One attempt, on a worker thread.  Holds the structure lock:
+        cache entries are stateful, so two jobs sharing a fingerprint must
+        not prepare/run the same entry concurrently; distinct structures
+        proceed in parallel."""
+        from repro.solvers.api import solve
+
+        with self._struct_lock(fingerprint):
+            return solve(
+                job.matrix, job.b, config,
+                x0=job.x0,
+                cache=self.cache,
+                max_wall_seconds=remaining,
+                inject_faults=job.inject_faults,
+                resilience=job.resilience,
+                **job.solve_kwargs,
+            )
+
+    @staticmethod
+    def _failure_error(job: Job, failure: str, result) -> ReproError:
+        """Map a terminal SolveResult.failure to its typed error (same
+        mapping as ``ResilienceConfig.raise_on_failure``)."""
+        iterations = result.stats.total_iterations if result is not None else None
+        if failure == "breakdown":
+            exc: ReproError = SolverBreakdownError(
+                f"job {job.id}: Krylov breakdown after {job.attempt + 1} attempt(s)",
+                iteration=iterations)
+        else:
+            exc = DivergenceError(
+                f"job {job.id}: failed ({failure}) after {job.attempt + 1} attempt(s)",
+                reason=failure)
+        exc.last_result = result  # the final attempt's SolveResult, if any
+        return exc
+
+    # -- introspection ------------------------------------------------------------------
+
+    def accounting(self) -> dict:
+        """The job ledger: every accepted job is queued, in flight, or
+        finished in exactly one outcome bucket — nothing lost, nothing
+        duplicated."""
+        c = dict(self.counts)
+        c["queued"] = len(self._queue)
+        c["in_flight"] = self._in_flight
+        c["rejections"] = dict(self.rejections)
+        c["balanced"] = (
+            c["submitted"] == c["accepted"] + c["rejected"]
+            and c["accepted"] == (c["ok"] + c["failed"] + c["timed_out"]
+                                  + c["cancelled"] + c["queued"] + c["in_flight"])
+        )
+        return c
+
+    def __repr__(self):
+        state = ("draining" if self._draining else
+                 "running" if self._running else "stopped")
+        return (f"SolverService({state}, workers={self.workers}, "
+                f"queue={len(self._queue)}/{self.policy.max_queue_depth}, "
+                f"in_flight={self._in_flight}, cache={self.cache!r})")

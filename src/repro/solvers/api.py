@@ -18,7 +18,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import DivergenceError, ReproError, SolverBreakdownError, SRAMOverflowError
+from repro.errors import (
+    DivergenceError,
+    JobTimeoutError,
+    ReproError,
+    SolverBreakdownError,
+    SRAMOverflowError,
+)
 from repro.graph import CompiledProgram, Engine, GlobalCounters
 from repro.machine import IPUDevice
 from repro.solvers.base import SolveProgress, SolveStats
@@ -209,6 +215,7 @@ def solve(
     metrics=None,
     on_progress=None,
     progress_every: int = 1,
+    max_wall_seconds: float | None = None,
     inject_faults=None,
     resilience=None,
     cache=None,
@@ -253,6 +260,15 @@ def solve(
     ``progress_every`` recorded iterations while the solve runs.  All
     three are observational: the solution, residual history, and kernel
     counters are bit-identical to an unobserved run.
+
+    ``max_wall_seconds`` is a cooperative wall-clock deadline
+    (``docs/serving.md``): the budget is checked on every recorded
+    iteration through the same hook seam as ``on_progress``, and an
+    exceeded budget cancels the solve mid-iteration with a typed
+    :class:`~repro.errors.JobTimeoutError` carrying the partial
+    :class:`~repro.solvers.SolveStats` record.  It works on every backend
+    and composes with caching (an aborted cached entry is restored by the
+    next ``prepare``).
 
     ``inject_faults`` enables deterministic seeded fault injection
     (``docs/resilience.md``; requires the sim backend): a
@@ -314,11 +330,22 @@ def solve(
         wtracer = WallTracer(metrics=mreg)
 
     stride = max(1, int(progress_every))
+    deadline = None if max_wall_seconds is None else float(max_wall_seconds)
+    if deadline is not None and deadline <= 0:
+        raise ReproError(f"max_wall_seconds must be > 0, got {max_wall_seconds!r}")
 
     def _progress(iteration: int, relative_residual: float, active: int) -> None:
+        wall = time.perf_counter() - t_wall0
+        if deadline is not None and wall > deadline:
+            # Cooperative cancellation: raised from the per-iteration record
+            # callback, it unwinds the engine mid-solve on any backend.  The
+            # partial SolveStats record is attached by the handler below.
+            raise JobTimeoutError(
+                solver=None, iteration=iteration, wall_seconds=wall,
+                budget_seconds=deadline,
+            )
         if iteration % stride:
             return
-        wall = time.perf_counter() - t_wall0
         if mreg is not None:
             mreg.gauge("repro_solve_iteration", "latest recorded iteration").set(iteration)
             mreg.gauge(
@@ -330,7 +357,11 @@ def solve(
         if on_progress is not None:
             on_progress(SolveProgress(iteration, relative_residual, wall, active))
 
-    progress_hook = _progress if (on_progress is not None or mreg is not None) else None
+    progress_hook = (
+        _progress
+        if (on_progress is not None or mreg is not None or deadline is not None)
+        else None
+    )
 
     plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
     rconfig = ResilienceConfig.parse(resilience)
@@ -439,6 +470,15 @@ def solve(
                     # After prepare()/reset(): a cache hit clears the hook
                     # along with the rest of the stats record.
                     solver.stats.progress = progress_hook
+                if deadline is not None:
+                    # The build itself may have eaten the whole budget; bail
+                    # before launching the engine rather than one iteration in.
+                    wall = time.perf_counter() - t_wall0
+                    if wall > deadline:
+                        raise JobTimeoutError(
+                            iteration=solver.stats.total_iterations,
+                            wall_seconds=wall, budget_seconds=deadline,
+                        )
                 engine = Engine(compiled, backend=backend, tracer=tracer,
                                 injector=injector, wall_tracer=wtracer)
                 if monitor is not None:
@@ -502,6 +542,13 @@ def solve(
                             },
                             ts=cycle,
                         )
+            except JobTimeoutError as exc:
+                # Deadline fired from inside the engine (or just before it),
+                # so ``solver`` exists: hand the caller the partial
+                # convergence record with the typed error.
+                exc.solver = solver.name
+                exc.stats = solver.stats.copy()
+                raise
             except SRAMOverflowError:
                 if rconfig is None or not rconfig.degrade_on_oom:
                     raise

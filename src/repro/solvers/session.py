@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -142,6 +143,13 @@ class CompiledSolve:
     build_seconds: float = 0.0  # host wall-clock of build + lowering
     runs: int = 0  # executions served from this entry
     initial_state: dict = field(default_factory=dict, repr=False)
+    #: Execution lock: an entry is *stateful* (``prepare`` + the run mutate
+    #: its shard arrays in place), so concurrent executors sharing one
+    #: cache must hold this around prepare-and-run.  The serving runtime
+    #: (``repro.serve``) serializes per structure through it; the cache's
+    #: own lock only protects the LRU map, never a running solve.
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                 compare=False)
 
     @classmethod
     def capture(cls, key, ctx, solver, xvec, bvec, device, compiled,
@@ -198,51 +206,67 @@ class CompiledSolve:
 
 
 class ProgramCache:
-    """LRU cache of :class:`CompiledSolve` entries keyed by fingerprint."""
+    """LRU cache of :class:`CompiledSolve` entries keyed by fingerprint.
+
+    Thread/task-safe: every map operation (get/put/evict/clear) and every
+    hit/miss/eviction counter update happens under one internal ``RLock``,
+    so a cross-tenant cache shared by the serving runtime's worker pool
+    (``docs/serving.md``) never corrupts its LRU order or under-counts.
+    The lock covers the *map only* — executing a cached entry mutates that
+    entry's shard arrays, which concurrent executors must serialize through
+    :attr:`CompiledSolve.lock` instead.
+    """
 
     def __init__(self, capacity: int = 8):
         if capacity < 1:
             raise ReproError("ProgramCache capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[str, CompiledSolve] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: str) -> CompiledSolve | None:
         """Look up ``key``; counts a hit (and refreshes LRU order) or a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, entry: CompiledSolve) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __contains__(self, key: str) -> bool:  # no LRU / counter side effects
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self):
         s = self.stats()

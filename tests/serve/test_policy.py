@@ -1,0 +1,197 @@
+"""The serving policies are deterministic, testable data structures:
+retry schedules replay exactly, token buckets follow an injected clock,
+circuit breakers walk closed -> open -> half-open -> closed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import (
+    TRANSIENT_FAILURES,
+    CircuitBreaker,
+    RetryPolicy,
+    ServicePolicy,
+    TokenBucket,
+)
+
+
+class TestRetrySchedule:
+    def test_schedule_is_a_pure_function_of_seed_and_policy(self):
+        """Same (seed, policy) -> identical delays, across fresh policy
+        objects; different seeds -> different jitter (satellite 3)."""
+        p = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.5)
+        assert p.schedule(42) == p.schedule(42)
+        assert RetryPolicy(max_attempts=4, base_delay=0.1).schedule(42) == \
+            p.schedule(42)
+        assert p.schedule(42) != p.schedule(43)
+
+    def test_schedule_exact_replay_from_seed_sequence_children(self):
+        """The delays are exactly base * mult^k * (1 + jitter * u_k) with
+        u_k the single draw of the k-th SeedSequence child — the same
+        spawn-per-clause scheme repro.faults uses."""
+        p = RetryPolicy(max_attempts=3, base_delay=0.05, multiplier=2.0, jitter=0.5)
+        children = np.random.SeedSequence(7).spawn(2)
+        expected = tuple(
+            0.05 * 2.0**k * (1.0 + 0.5 * float(np.random.default_rng(c).random()))
+            for k, c in enumerate(children)
+        )
+        assert p.schedule(7) == expected
+
+    def test_schedule_length_and_bounds(self):
+        p = RetryPolicy(max_attempts=5, base_delay=0.01, multiplier=3.0, jitter=0.25)
+        delays = p.schedule(0)
+        assert len(delays) == 4
+        for k, d in enumerate(delays):
+            lo = 0.01 * 3.0**k
+            assert lo <= d <= lo * 1.25
+
+    def test_no_retries_means_empty_schedule(self):
+        assert RetryPolicy(max_attempts=1).schedule(5) == ()
+
+    def test_transient_classification(self):
+        p = RetryPolicy()
+        for f in TRANSIENT_FAILURES:
+            assert p.is_transient(f)
+        assert not p.is_transient(None)
+        assert not p.is_transient("some_permanent_thing")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ReproError):
+            RetryPolicy(escalate_iterations=0.9)
+        with pytest.raises(ReproError):
+            RetryPolicy(fallback_after=0)
+
+
+class TestEffectiveConfig:
+    def test_attempt_zero_runs_the_original_config(self):
+        p = RetryPolicy()
+        conf = {"solver": "cg", "max_iterations": 10}
+        assert p.effective_config(conf, 0) is conf
+
+    def test_escalation_multiplies_explicit_iteration_budget(self):
+        p = RetryPolicy(escalate_iterations=4.0, fallback_after=5)
+        conf = {"solver": "cg", "tol": 1e-8, "max_iterations": 10}
+        assert p.effective_config(conf, 1)["max_iterations"] == 40
+        assert p.effective_config(conf, 2)["max_iterations"] == 160
+        assert p.effective_config(conf, 1)["solver"] == "cg"
+
+    def test_solver_default_budget_is_left_alone(self):
+        """A config without an explicit max_iterations keeps the solver
+        class default — the escalated config must stay a valid direct-solve
+        config, and inventing a budget would change it."""
+        p = RetryPolicy(fallback_after=5)
+        out = p.effective_config({"solver": "cg", "tol": 1e-8}, 1)
+        assert "max_iterations" not in out
+
+    def test_fallback_config_takes_over(self):
+        fallback = {"solver": "bicgstab", "tol": 1e-8}
+        p = RetryPolicy(fallback_config=fallback, fallback_after=2)
+        conf = {"solver": "cg", "max_iterations": 10}
+        assert p.effective_config(conf, 1)["solver"] == "cg"
+        assert p.effective_config(conf, 2) is fallback
+        assert p.effective_config(conf, 3) is fallback
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_on_injected_clock(self):
+        b = TokenBucket(rate=2.0, burst=3.0)
+        assert b.try_acquire(0.0)
+        assert b.try_acquire(0.0)
+        assert b.try_acquire(0.0)
+        assert not b.try_acquire(0.0)  # burst exhausted
+        assert not b.try_acquire(0.4)  # 0.8 tokens accrued: still short
+        assert b.try_acquire(0.5)      # 1.0 accrued
+        assert not b.try_acquire(0.5)
+
+    def test_rate_zero_is_a_fixed_budget(self):
+        b = TokenBucket(rate=0.0, burst=2.0)
+        assert b.try_acquire(0.0) and b.try_acquire(100.0)
+        assert not b.try_acquire(1e9)
+        assert b.retry_after() == float("inf")
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=10.0, burst=2.0)
+        assert b.try_acquire(0.0)
+        for _ in range(2):
+            assert b.try_acquire(1000.0)  # long idle refills to burst, not more
+        assert not b.try_acquire(1000.0)
+
+    def test_retry_after_hint(self):
+        b = TokenBucket(rate=2.0, burst=1.0)
+        assert b.retry_after() == 0.0
+        assert b.try_acquire(0.0)
+        assert b.retry_after() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ReproError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        br = CircuitBreaker(failure_threshold=3, cooldown_seconds=10.0)
+        for _ in range(2):
+            br.record_failure("k", now=0.0)
+        assert br.allow("k", now=0.0) and br.state("k") == "closed"
+        br.record_failure("k", now=1.0)
+        assert br.state("k") == "open"
+        assert not br.allow("k", now=5.0)
+        assert br.quarantined() == ["k"]
+
+    def test_success_resets_the_failure_streak(self):
+        br = CircuitBreaker(failure_threshold=2)
+        br.record_failure("k", now=0.0)
+        br.record_success("k")
+        br.record_failure("k", now=0.0)
+        assert br.state("k") == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0)
+        br.record_failure("k", now=0.0)
+        assert not br.allow("k", now=4.9)
+        assert br.allow("k", now=5.0)        # this caller is the probe
+        assert br.state("k") == "half_open"
+        assert not br.allow("k", now=5.0)    # only one probe at a time
+        br.record_success("k")
+        assert br.state("k") == "closed"
+        assert br.allow("k", now=5.0)
+
+    def test_half_open_probe_failure_reopens_with_fresh_cooldown(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0)
+        br.record_failure("k", now=0.0)
+        assert br.allow("k", now=5.0)
+        br.record_failure("k", now=6.0)
+        assert br.state("k") == "open"
+        assert not br.allow("k", now=10.9)
+        assert br.allow("k", now=11.0)
+
+    def test_keys_are_independent(self):
+        br = CircuitBreaker(failure_threshold=1)
+        br.record_failure("bad", now=0.0)
+        assert not br.allow("bad", now=0.0)
+        assert br.allow("good", now=0.0)
+
+
+class TestServicePolicy:
+    def test_defaults_are_valid(self):
+        p = ServicePolicy()
+        assert p.max_queue_depth >= 1
+        assert isinstance(p.retry, RetryPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ServicePolicy(max_queue_depth=0)
+        with pytest.raises(ReproError):
+            ServicePolicy(default_deadline=0.0)
+        with pytest.raises(ReproError):
+            ServicePolicy(quota_rate=-1.0)
+        with pytest.raises(ReproError):
+            ServicePolicy(quota_burst=0.5)

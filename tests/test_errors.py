@@ -5,9 +5,13 @@ import pytest
 
 from repro.cli import main
 from repro.errors import (
+    BackendCapabilityError,
     DivergenceError,
     FaultSpecError,
+    JobTimeoutError,
+    QuotaExceededError,
     ReproError,
+    ServiceOverloadError,
     SolverBreakdownError,
     SRAMOverflowError,
 )
@@ -16,7 +20,8 @@ from repro.errors import (
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc in (SRAMOverflowError, SolverBreakdownError, DivergenceError,
-                    FaultSpecError):
+                    FaultSpecError, ServiceOverloadError, JobTimeoutError,
+                    QuotaExceededError):
             assert issubclass(exc, ReproError)
 
     def test_dual_inheritance_keeps_old_except_clauses_working(self):
@@ -27,14 +32,35 @@ class TestHierarchy:
         assert issubclass(SolverBreakdownError, ArithmeticError)
         assert issubclass(DivergenceError, ArithmeticError)
         assert issubclass(FaultSpecError, ValueError)
+        assert issubclass(JobTimeoutError, TimeoutError)
 
     def test_exit_codes_distinct_and_nonzero(self):
         codes = [exc.exit_code for exc in (
             ReproError, SRAMOverflowError, SolverBreakdownError,
-            DivergenceError, FaultSpecError,
+            DivergenceError, FaultSpecError, BackendCapabilityError,
+            ServiceOverloadError, JobTimeoutError, QuotaExceededError,
         )]
         assert len(set(codes)) == len(codes)
-        assert all(c != 0 for c in codes)
+        assert all(c not in (0, 1, 2) for c in codes)
+
+
+class TestServingErrors:
+    def test_overload_message_carries_reason_and_depth(self):
+        err = ServiceOverloadError(reason="queue_full", depth=8, capacity=8)
+        assert err.reason == "queue_full"
+        assert "queue 8/8" in str(err)
+
+    def test_timeout_carries_partial_progress(self):
+        err = JobTimeoutError(solver="cg", iteration=42, wall_seconds=1.5,
+                              budget_seconds=1.0)
+        assert err.iteration == 42
+        assert "iteration 42" in str(err)
+        assert err.stats is None  # no partial record attached here
+
+    def test_quota_carries_backoff_hint(self):
+        err = QuotaExceededError(tenant="acme", retry_after=0.25)
+        assert err.tenant == "acme"
+        assert "retry after 0.250s" in str(err)
 
 
 class TestSRAMOverflowMessage:
