@@ -463,26 +463,33 @@ def _cmd_serve(args) -> int:
     ``--overload`` times the service's capacity at once (rejections are
     the expected, graceful output), and a *fault tenant* whose jobs run
     seeded fault injection through the resilience rollback path on the sim
-    backend.  ``--check`` re-solves every served job directly and fails
-    unless the served results are bit-identical (docs/serving.md).
+    backend.  ``--batch-window`` turns on queue-level dynamic batching so
+    compatible jobs coalesce into one multi-RHS solve.  ``--check``
+    re-solves every served job directly and fails unless the served
+    results are bit-identical (docs/serving.md) — batched dispatches
+    included.
     """
     import asyncio
     import json
     import time
 
-    from repro.serve import LoadGenerator, RetryPolicy, ServicePolicy, SolverService
+    from repro.serve import (BatchPolicy, LoadGenerator, RetryPolicy,
+                             ServicePolicy, SolverService)
     from repro.solvers import solve
 
     matrix, dims = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
 
     retry = RetryPolicy(base_delay=args.retry_base_delay)
+    batch = (BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.batch_window)
+             if args.batch_window > 0 and args.max_batch > 1 else None)
     policy = ServicePolicy(
         max_queue_depth=args.queue_depth,
         default_deadline=args.deadline,
         retry=retry,
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
+        batch=batch,
     )
     mreg = None
     if args.metrics:
@@ -535,8 +542,10 @@ def _cmd_serve(args) -> int:
 
     print(f"matrix:     n={matrix.n} nnz={matrix.nnz}; config {args.config!r} "
           f"on the {args.backend} backend")
+    batching = (f"batch window {args.batch_window:g}ms x{args.max_batch}"
+                if batch is not None else "batching off")
     print(f"service:    {args.workers} worker(s), queue depth {args.queue_depth}, "
-          f"{args.tenants} tenant(s); load run took {wall:.2f}s")
+          f"{args.tenants} tenant(s), {batching}; load run took {wall:.2f}s")
     for name, report in out["phases"].items():
         s = report.summary()
         lat = s["exec_latency"]
@@ -553,6 +562,10 @@ def _cmd_serve(args) -> int:
           f"worker_faults={acc['worker_faults']}")
     print(f"            balanced={'yes' if acc['balanced'] else 'NO'}; "
           f"rejections={acc['rejections'] or '{}'}")
+    if batch is not None:
+        print(f"batching:   {acc['batches']} batched dispatch(es), "
+              f"{acc['coalesced']} job(s) coalesced, "
+              f"{acc['redispatched']} redispatched")
     cache = out["cache"]
     print(f"cache:      hits={cache['hits']} misses={cache['misses']} "
           f"evictions={cache['evictions']} size={cache['size']}/{cache['capacity']}")
@@ -782,6 +795,13 @@ def main(argv=None) -> int:
                          help="per-tenant token-bucket burst depth")
     p_serve.add_argument("--retry-base-delay", type=float, default=0.05,
                          help="first retry backoff in seconds")
+    p_serve.add_argument("--batch-window", type=float, default=0.0, metavar="MS",
+                         help="dynamic-batching assembly window in milliseconds: "
+                              "compatible queued jobs coalesce into one multi-RHS "
+                              "solve; 0 (default) disables queue-level batching")
+    p_serve.add_argument("--max-batch", type=int, default=8, metavar="B",
+                         help="most jobs one dispatch may coalesce "
+                              "(with --batch-window > 0)")
     p_serve.add_argument("--fault-tenant", action="store_true",
                          help="add a tenant whose jobs inject seeded faults and "
                               "recover through the resilience rollback path "

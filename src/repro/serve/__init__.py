@@ -9,13 +9,23 @@ tenants, runs them on a worker pool over one process-wide
 :class:`~repro.solvers.ProgramCache`, and degrades gracefully instead of
 falling over — bounded queue + typed rejections, per-tenant quotas,
 per-job deadlines (cooperative, mid-solve), seeded deterministic retries,
-per-structure circuit breaking, graceful drain.
+per-structure circuit breaking, graceful drain — and, since PR 10,
+queue-level dynamic batching: compatible jobs sharing a structure
+fingerprint coalesce into one stacked multi-RHS solve
+(:class:`BatchPolicy` / :class:`BatchAssembler`), bit-identical per
+column to serving each job alone.
 
 See ``docs/serving.md`` for the architecture and the failure-mode table,
 and ``benchmarks/bench_serve_load.py`` for the overload/bit-identity
 acceptance harness.
 """
 
+from repro.serve.batching import (
+    BatchAssembler,
+    BatchPolicy,
+    batchable_solve_kwargs,
+    config_supports_batch,
+)
 from repro.serve.client import LoadGenerator, LoadReport, ServiceClient
 from repro.serve.policy import (
     TRANSIENT_FAILURES,
@@ -34,6 +44,10 @@ __all__ = [
     "TokenBucket",
     "CircuitBreaker",
     "TRANSIENT_FAILURES",
+    "BatchPolicy",
+    "BatchAssembler",
+    "config_supports_batch",
+    "batchable_solve_kwargs",
     "FairQueue",
     "Job",
     "JobResult",

@@ -29,8 +29,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ReproError
+from repro.serve.batching import BatchPolicy
 
-__all__ = ["RetryPolicy", "TokenBucket", "CircuitBreaker", "ServicePolicy"]
+__all__ = ["RetryPolicy", "TokenBucket", "CircuitBreaker", "ServicePolicy",
+           "BatchPolicy"]
 
 
 #: SolveResult.failure values the default retry policy treats as transient:
@@ -263,6 +265,9 @@ class ServicePolicy:
     #: opens, and how long it stays open.
     breaker_threshold: int = 3
     breaker_cooldown: float = 5.0
+    #: Queue-level dynamic batching (:class:`~repro.serve.BatchPolicy`);
+    #: ``None`` serves every job as an independent single solve.
+    batch: BatchPolicy | None = None
 
     def __post_init__(self):
         if self.max_queue_depth < 1:

@@ -53,13 +53,29 @@ class Job:
     #: tiles_per_ipu, grid_dims, ...).
     solve_kwargs: dict = field(default_factory=dict)
 
+    #: Whether the submitter allows this job to be coalesced into a
+    #: stacked multi-RHS solve with compatible jobs (``submit(...,
+    #: batchable=False)`` opts out; eligibility is still gated by the
+    #: config/shape checks in :mod:`repro.serve.batching`).
+    batchable: bool = False
+
     # -- filled in by the service ---------------------------------------------------
     id: int = field(default_factory=lambda: next(_job_ids))
     #: Structure fingerprint of attempt 0 (circuit-breaker key).
     fingerprint: str = ""
+    #: Coalescing key: jobs sharing a ``batch_key`` may ride one stacked
+    #: solve (it is the attempt's single-RHS structure fingerprint, which
+    #: embeds the canonical effective config, device shape, and backend).
+    #: ``None`` marks the job batch-ineligible.  Recomputed on re-queue so
+    #: a retried job only batches with peers at the same escalation.
+    batch_key: str | None = None
     #: Precomputed deterministic backoff delays (RetryPolicy.schedule).
     retry_delays: tuple = ()
     attempt: int = 0
+    #: Times this job survived a batch whose earliest deadline expired and
+    #: was pushed back to the queue (not a retry: the attempt ladder is
+    #: for *failed* solves, re-dispatch is for unfinished ones).
+    redispatches: int = 0
     submitted_at: float = 0.0
     started_at: float | None = None
     #: Seconds spent executing solve() across attempts (queue wait excluded).
@@ -96,6 +112,10 @@ class JobResult:
     exec_seconds: float
     #: Seconds from admission to completion (what the tenant experienced).
     total_seconds: float
+    #: Width of the stacked solve that served the successful attempt
+    #: (1 = it ran alone; padding columns are not counted).  Purely
+    #: observational — the result itself is bit-identical either way.
+    batch_size: int = 1
 
 
 class FairQueue:
@@ -155,6 +175,43 @@ class FairQueue:
                 self._rotation.append(tenant)  # tenant goes to the back
             return job
         return None
+
+    def take_batchable(self, batch_key: str, limit: int) -> list:
+        """Remove and return up to ``limit`` queued jobs whose
+        ``batch_key`` equals ``batch_key``.
+
+        The batch-assembly sweep (:class:`~repro.serve.BatchAssembler`):
+        jobs are taken FIFO within each lane, lanes scanned in rotation
+        order, so the coalesced companions are exactly the jobs that
+        would have been served next anyway — batching pulls their service
+        *earlier*, never later.  Lanes the sweep empties are dropped from
+        the rotation so a subsequent ``push`` cannot enqueue a duplicate
+        rotation turn for the tenant.
+        """
+        if limit <= 0 or not batch_key:
+            return []
+        taken: list = []
+        for tenant in list(self._rotation):
+            lane = self._lanes.get(tenant)
+            if not lane:
+                continue
+            kept: deque = deque()
+            while lane and len(taken) < limit:
+                job = lane.popleft()
+                if job.batch_key == batch_key:
+                    taken.append(job)
+                else:
+                    kept.append(job)
+            kept.extend(lane)
+            lane.clear()
+            lane.extend(kept)
+            if len(taken) >= limit:
+                break
+        if taken:
+            self._size -= len(taken)
+            self._rotation = deque(
+                t for t in self._rotation if self._lanes.get(t))
+        return taken
 
     def drain(self) -> list:
         """Remove and return every queued job (shutdown without drain)."""

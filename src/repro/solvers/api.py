@@ -262,8 +262,10 @@ def solve(
     counters are bit-identical to an unobserved run.
 
     ``max_wall_seconds`` is a cooperative wall-clock deadline
-    (``docs/serving.md``): the budget is checked on every recorded
-    iteration through the same hook seam as ``on_progress``, and an
+    (``docs/serving.md``): the budget is checked on *every* iteration of
+    every solver in the config tree (nested inner solves and
+    ``record_history=False`` loops included), independent of
+    ``progress_every``, and an
     exceeded budget cancels the solve mid-iteration with a typed
     :class:`~repro.errors.JobTimeoutError` carrying the partial
     :class:`~repro.solvers.SolveStats` record.  It works on every backend
@@ -362,6 +364,19 @@ def solve(
         if (on_progress is not None or mreg is not None or deadline is not None)
         else None
     )
+
+    def _deadline_tick(iteration: int) -> None:
+        # The budget check alone, fired on *every* iteration of *every*
+        # solver in the tree — nested inner solves (an MPIR refinement
+        # burst) and ``record_history=False`` loops included — so the
+        # overshoot past ``max_wall_seconds`` is bounded by one iteration,
+        # not one root record or one whole inner burst.
+        wall = time.perf_counter() - t_wall0
+        if wall > deadline:
+            raise JobTimeoutError(
+                solver=None, iteration=iteration, wall_seconds=wall,
+                budget_seconds=deadline,
+            )
 
     plan = FaultPlan.parse(inject_faults) if inject_faults is not None else None
     rconfig = ResilienceConfig.parse(resilience)
@@ -470,6 +485,9 @@ def solve(
                     # After prepare()/reset(): a cache hit clears the hook
                     # along with the rest of the stats record.
                     solver.stats.progress = progress_hook
+                if deadline is not None:
+                    for member in solver.iter_tree():
+                        member.stats.tick = _deadline_tick
                 if deadline is not None:
                     # The build itself may have eaten the whole budget; bail
                     # before launching the engine rather than one iteration in.

@@ -72,6 +72,14 @@ class SolveStats:
         #: solve API uses for ``on_progress`` (docs/observability.md).
         #: ``None`` costs one attribute check per recorded iteration.
         self.progress = None
+        #: Optional per-iteration hook ``fn(iteration)`` fired on *every*
+        #: iteration — by :meth:`record` when history is kept, and by the
+        #: solver's dedicated tick callback (:meth:`Solver._emit_tick`)
+        #: when ``record_history=False`` leaves no record.  This is the
+        #: deadline-enforcement seam: unlike ``progress`` it is installed
+        #: on every member of the solver tree, so an MPIR inner burst or a
+        #: history-less loop cannot overshoot ``max_wall_seconds``.
+        self.tick = None
 
     def record(
         self,
@@ -83,6 +91,8 @@ class SolveStats:
         self.iterations.append(int(iteration))
         self.residuals.append(float(relative_residual))
         self.cycles.append(int(cycles))
+        if self.tick is not None:
+            self.tick(int(iteration))
         if self.progress is not None:
             self.progress(int(iteration), float(relative_residual),
                           1 if active is None else int(active))
@@ -99,6 +109,7 @@ class SolveStats:
         self.cycles.clear()
         self.failure = None
         self.progress = None
+        self.tick = None
 
     def copy(self) -> "SolveStats":
         """Detached snapshot — what a cached-session solve hands back to the
@@ -274,6 +285,24 @@ class Solver:
         return self.A.vector(
             name=self.ctx.graph.unique_name(f"{self.name}.{tag}"), dtype=dtype, batch=batch
         )
+
+    def _emit_tick(self, it) -> None:
+        """Append a per-iteration host callback firing ``stats.tick``.
+
+        Iteration bodies call this on their ``record_history=False`` path
+        so the deadline seam exists even when nothing is recorded
+        (:meth:`SolveStats.record` fires the hook itself otherwise).  An
+        unset hook makes the callback a no-op, so the emitted program is
+        identical whether or not a deadline is later installed.
+        """
+        stats = self.stats
+
+        def cb(engine, _i=it.var):
+            hook = stats.tick
+            if hook is not None:
+                hook(int(engine.read_scalar(_i)))
+
+        self.ctx.callback(cb)
 
     def record_residual_callback(self, iter_counter, rnorm2_tensor, bnorm2: float):
         """Host callback factory: log sqrt(rnorm²)/||b|| into ``self.stats``."""

@@ -155,6 +155,8 @@ class PBiCGStab(Solver):
                     )
 
                 ctx.callback(record)
+            else:
+                self._emit_tick(it)
             if self.verbose:
 
                 def progress(engine, _r=rnorm2.var, _i=it.var):
@@ -288,6 +290,8 @@ class PBiCGStab(Solver):
                             st.record(i, rel[j], cycles=cyc)
 
                 ctx.callback(record)
+            else:
+                self._emit_tick(it)
             if self.verbose:
 
                 def progress(engine, _r=rnorm2.var, _i=it.var, _a=active.var):

@@ -125,6 +125,8 @@ class ConjugateGradient(Solver):
                     )
 
                 ctx.callback(record)
+            else:
+                self._emit_tick(it)
 
         if self.fixed_iterations is not None:
             ctx.Repeat(self.fixed_iterations, lambda: ctx.If(cont, body),
@@ -241,6 +243,8 @@ class ConjugateGradient(Solver):
                             st.record(i, rel[j], cycles=cyc)
 
                 ctx.callback(record)
+            else:
+                self._emit_tick(it)
             active.assign(active * (rnorm2 > tol2) * (abs(rho) > _BREAKDOWN))
             cont.assign(ctx.batch_reduce(active, "max"))
 

@@ -127,6 +127,8 @@ class MPIR(Solver):
                                  cycles=engine.profiler.total_cycles)
 
                 ctx.callback(record)
+            else:
+                self._emit_tick(it)
             if self.verbose:
 
                 def progress(engine, _r=rnorm2.var, _i=it.var):

@@ -52,12 +52,36 @@ __all__ = [
     "CompiledSolve",
     "ProgramCache",
     "SolverSession",
+    "batch_bucket",
     "default_cache",
     "fingerprint_matrix",
     "fingerprint_solve",
     "resolve_cache",
     "solve_many",
 ]
+
+
+def batch_bucket(batch: int, max_batch: int) -> int:
+    """Round a batch width up to its cache bucket.
+
+    The serving batcher pads assembled widths to the next power of two
+    (capped at ``max_batch``), so the program cache holds at most
+    ``O(log max_batch)`` batched artifacts per structure instead of one
+    per width — a width-7 batch reuses the width-8 program instead of
+    compiling (and LRU-thrashing) its own.  Padding columns are zero
+    right-hand sides: per-column convergence masking retires them at
+    iteration 0, so real columns stay bit-identical (see
+    ``docs/serving.md``).
+    """
+    if batch < 1:
+        raise ReproError(f"batch_bucket: batch must be >= 1, got {batch}")
+    if max_batch < batch:
+        raise ReproError(
+            f"batch_bucket: max_batch ({max_batch}) < batch ({batch})")
+    bucket = 1
+    while bucket < batch:
+        bucket *= 2
+    return min(bucket, max_batch)
 
 
 def fingerprint_matrix(matrix) -> str:

@@ -3,8 +3,9 @@ retried jobs, the service neither loses nor duplicates a job, and every
 job it serves is bit-identical to a direct solve() call.
 
 Hypothesis drives the job mix — tenants, deadlines, weak configs that
-force the retry ladder, tight queue bounds and quotas — and the invariants
-are checked after a full drain:
+force the retry ladder, tight queue bounds, quotas, and queue-level
+dynamic batching (off / greedy / windowed) — and the invariants are
+checked after a full drain:
 
 1. exactly one outcome record per submitted spec (nothing lost),
 2. the service's own ledger balances (nothing duplicated),
@@ -20,6 +21,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.serve import (
+    BatchPolicy,
     LoadGenerator,
     RetryPolicy,
     ServicePolicy,
@@ -49,19 +51,29 @@ job_spec = st.fixed_dictionaries({
 })
 
 
+#: (max_batch, assembly window ms); None = queue-level batching off.
+#: Batched interleavings — coalesced dispatches, deadline collateral
+#: redispatch, per-column retries — must uphold the same four invariants.
+batch_policy = st.sampled_from([None, (2, 0.0), (4, 2.0)])
+
+
 @given(
     specs=st.lists(job_spec, min_size=1, max_size=12),
     queue_depth=st.integers(min_value=1, max_value=4),
     quota_burst=st.integers(min_value=1, max_value=8),
+    batching=batch_policy,
 )
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_no_job_is_lost_or_duplicated_and_served_means_bit_identical(
-        specs, queue_depth, quota_burst):
+        specs, queue_depth, quota_burst, batching):
     retry = RetryPolicy(max_attempts=2, base_delay=0.001,
                         escalate_iterations=200.0, fallback_after=5)
+    batch = (BatchPolicy(max_batch=batching[0], max_wait_ms=batching[1])
+             if batching is not None else None)
     policy = ServicePolicy(max_queue_depth=queue_depth, retry=retry,
-                           quota_rate=0.0, quota_burst=float(quota_burst))
+                           quota_rate=0.0, quota_burst=float(quota_burst),
+                           batch=batch)
 
     full_specs = [
         {

@@ -58,6 +58,37 @@ class TestDeadline:
         with pytest.raises(Exception, match="max_wall_seconds"):
             solve(crs, b, CONFIG, grid_dims=dims, max_wall_seconds=0.0)
 
+    def test_deadline_fires_every_iteration_not_on_progress_cadence(self):
+        """The budget check must not ride the throttled progress stride:
+        even with ``progress_every`` far beyond the iteration count, an
+        exceeded deadline still cancels the solve."""
+        crs, dims, b = _system()
+        with pytest.raises(JobTimeoutError) as exc_info:
+            solve(crs, b, CONFIG, grid_dims=dims, max_wall_seconds=1e-9,
+                  progress_every=10**9)
+        assert exc_info.value.stats.total_iterations < 400
+
+    def test_deadline_fires_without_residual_history(self):
+        """``record_history=False`` loops have no record callback to
+        piggyback on; the dedicated per-iteration tick still enforces the
+        budget."""
+        crs, dims, b = _system()
+        config = dict(CONFIG, record_history=False)
+        with pytest.raises(JobTimeoutError) as exc_info:
+            solve(crs, b, config, grid_dims=dims, max_wall_seconds=1e-9)
+        assert exc_info.value.exit_code == 17
+
+    def test_deadline_fires_inside_nested_solver_loops(self):
+        """MPIR spends its time in the inner solver's loop; the deadline
+        is installed on every member of the config tree, so the inner
+        iterations cancel the solve too."""
+        crs, dims, b = _system()
+        config = {"solver": "mpir", "tol": 1e-12,
+                  "inner": {"solver": "cg", "fixed_iterations": 50,
+                            "record_history": False}}
+        with pytest.raises(JobTimeoutError):
+            solve(crs, b, config, grid_dims=dims, max_wall_seconds=1e-9)
+
     def test_aborted_cached_entry_recovers_on_next_use(self):
         """A timeout mid-run leaves the cache entry in a partial state;
         the next hit's ``prepare`` restores the initial image, so the
